@@ -1,0 +1,470 @@
+// Package repro's root benchmark harness regenerates every table and
+// figure of the paper's evaluation section as a measurable target, plus
+// ablation and engine micro-benchmarks. Run all of them with
+//
+//	go test -bench=. -benchmem
+//
+// Artifact benchmarks (matching DESIGN.md §5):
+//
+//	BenchmarkTableI                    bus-count configuration
+//	BenchmarkFig4CGTimeline            CG timelines + improvement
+//	BenchmarkFig5aSweep3DProduction    production scatter
+//	BenchmarkFig5bBTConsumption        consumption scatter
+//	BenchmarkFig5cPOPConsumption       consumption scatter
+//	BenchmarkTableIIaProduction        pattern statistics (a)
+//	BenchmarkTableIIbConsumption       pattern statistics (b)
+//	BenchmarkFig6aSpeedup              speedups, real & ideal
+//	BenchmarkFig6bBandwidthRelaxation  bandwidth relaxation searches
+//	BenchmarkFig6cEquivalentBandwidth  equivalent-bandwidth searches
+//
+// Custom metrics carry the reproduced numbers (speedup_x, pct, MB/s), so a
+// benchmark run doubles as a regression check of the paper's shapes.
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/paraver"
+	"repro/internal/pattern"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tracer"
+)
+
+const benchRanks = 16
+
+func analyze(b *testing.B, name string, ranks int) *core.Report {
+	b.Helper()
+	entry, ok := apps.ByName(name, ranks)
+	if !ok {
+		b.Fatalf("unknown app %q", name)
+	}
+	rep, err := core.Analyze(entry.App, ranks, network.TestbedFor(name, ranks), tracer.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+// BenchmarkTableI regenerates Table I: the calibrated Dimemas bus count per
+// application, reported as a metric per app via sub-benchmarks.
+func BenchmarkTableI(b *testing.B) {
+	for _, name := range apps.Names {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var cfg network.Config
+			for i := 0; i < b.N; i++ {
+				cfg = network.TestbedFor(name, 64)
+				if err := cfg.Validate(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cfg.Buses), "buses")
+		})
+	}
+}
+
+// BenchmarkFig4CGTimeline regenerates Figure 4: the 4-rank NAS-CG
+// comparison between the non-overlapped and the overlapped execution.
+func BenchmarkFig4CGTimeline(b *testing.B) {
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		rep := analyze(b, "cg", 4)
+		view := paraver.RenderComparison(rep.Base, rep.Real, "cg/base", "cg/overlap", 100)
+		if len(view) == 0 {
+			b.Fatal("empty timeline")
+		}
+		improvement = 100 * (rep.Base.FinishSec - rep.Real.FinishSec) / rep.Base.FinishSec
+	}
+	b.ReportMetric(improvement, "improvement_pct")
+}
+
+func benchScatter(b *testing.B, app, buffer string, rank int, side pattern.Side) {
+	entry, _ := apps.ByName(app, benchRanks)
+	var points int
+	for i := 0; i < b.N; i++ {
+		run, err := tracer.Trace(app, benchRanks, tracer.DefaultConfig(), entry.App.Kernel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc := pattern.ScatterFor(run, buffer, rank, side)
+		if sc == nil || len(sc.Points) == 0 {
+			b.Fatalf("no scatter for %s %s", app, buffer)
+		}
+		points = len(sc.Points)
+	}
+	b.ReportMetric(float64(points), "points")
+}
+
+// BenchmarkFig5aSweep3DProduction regenerates the Fig. 5a dataset: the
+// production pattern of Sweep3D's 600-element outflow buffer.
+func BenchmarkFig5aSweep3DProduction(b *testing.B) {
+	benchScatter(b, "sweep3d", "outflow-east", 0, pattern.Production)
+}
+
+// BenchmarkFig5bBTConsumption regenerates the Fig. 5b dataset: NAS-BT's
+// four tight copy passes over the received face.
+func BenchmarkFig5bBTConsumption(b *testing.B) {
+	benchScatter(b, "bt", "face-in", 1, pattern.Consumption)
+}
+
+// BenchmarkFig5cPOPConsumption regenerates the Fig. 5c dataset: POP's
+// independent-work prefix before the halo unpack.
+func BenchmarkFig5cPOPConsumption(b *testing.B) {
+	benchScatter(b, "pop", "halo-in-e", 0, pattern.Consumption)
+}
+
+// BenchmarkTableIIaProduction regenerates Table II(a) and reports each
+// application's first-element percentage.
+func BenchmarkTableIIaProduction(b *testing.B) {
+	for _, name := range apps.Names {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			entry, _ := apps.ByName(name, benchRanks)
+			var p pattern.ProductionStats
+			for i := 0; i < b.N; i++ {
+				run, err := tracer.Trace(name, benchRanks, tracer.DefaultConfig(), entry.App.Kernel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p = pattern.Analyze(run).AppProduction
+			}
+			b.ReportMetric(p.FirstElem, "first_elem_pct")
+			if p.Chunkable {
+				b.ReportMetric(p.Quarter, "quarter_pct")
+				b.ReportMetric(p.Half, "half_pct")
+				b.ReportMetric(p.Whole, "whole_pct")
+			}
+		})
+	}
+}
+
+// BenchmarkTableIIbConsumption regenerates Table II(b).
+func BenchmarkTableIIbConsumption(b *testing.B) {
+	for _, name := range apps.Names {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			entry, _ := apps.ByName(name, benchRanks)
+			var c pattern.ConsumptionStats
+			for i := 0; i < b.N; i++ {
+				run, err := tracer.Trace(name, benchRanks, tracer.DefaultConfig(), entry.App.Kernel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c = pattern.Analyze(run).AppConsumption
+			}
+			b.ReportMetric(c.Nothing, "nothing_pct")
+			if c.Chunkable {
+				b.ReportMetric(c.Quarter, "quarter_pct")
+				b.ReportMetric(c.Half, "half_pct")
+			}
+		})
+	}
+}
+
+// BenchmarkFig6aSpeedup regenerates Figure 6a: overlap speedup per
+// application for both pattern flavours.
+func BenchmarkFig6aSpeedup(b *testing.B) {
+	for _, name := range apps.Names {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var rep *core.Report
+			for i := 0; i < b.N; i++ {
+				rep = analyze(b, name, benchRanks)
+			}
+			b.ReportMetric(rep.SpeedupReal, "speedup_real_x")
+			b.ReportMetric(rep.SpeedupIdeal, "speedup_ideal_x")
+		})
+	}
+}
+
+// BenchmarkFig6bBandwidthRelaxation regenerates Figure 6b: the minimum
+// bandwidth at which the ideal-pattern overlapped execution still matches
+// the non-overlapped one at 250 MB/s.
+func BenchmarkFig6bBandwidthRelaxation(b *testing.B) {
+	for _, name := range apps.Names {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var bw float64
+			for i := 0; i < b.N; i++ {
+				rep := analyze(b, name, benchRanks)
+				var err error
+				bw, err = rep.RelaxedBandwidth(core.FlavorIdeal, metrics.DefaultSearch())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if !math.IsInf(bw, 1) {
+				b.ReportMetric(bw, "relaxed_MBps")
+			}
+		})
+	}
+}
+
+// BenchmarkFig6cEquivalentBandwidth regenerates Figure 6c: the bandwidth
+// the non-overlapped execution needs to match the overlapped one; infinity
+// (the Sweep3D result) is reported as equivalent_inf=1.
+func BenchmarkFig6cEquivalentBandwidth(b *testing.B) {
+	for _, name := range apps.Names {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var bw float64
+			for i := 0; i < b.N; i++ {
+				rep := analyze(b, name, benchRanks)
+				var err error
+				bw, err = rep.EquivalentBandwidth(core.FlavorIdeal, metrics.DefaultSearch())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if math.IsInf(bw, 1) {
+				b.ReportMetric(1, "equivalent_inf")
+			} else {
+				b.ReportMetric(bw, "equivalent_MBps")
+				b.ReportMetric(metrics.BandwidthFactor(bw, 250), "factor_x")
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations: the design choices DESIGN.md calls out.
+
+// BenchmarkAblationChunkCount varies the number of chunks per message (the
+// paper fixes 4) on NAS-CG and reports the real-pattern speedup per count.
+func BenchmarkAblationChunkCount(b *testing.B) {
+	for _, chunks := range []int{1, 2, 4, 8, 16} {
+		chunks := chunks
+		b.Run(fmt.Sprintf("chunks=%d", chunks), func(b *testing.B) {
+			entry, _ := apps.ByName("cg", benchRanks)
+			cfg := tracer.DefaultConfig()
+			cfg.Chunks = chunks
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				rep, err := core.Analyze(entry.App, benchRanks, network.TestbedFor("cg", benchRanks), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				speedup = rep.SpeedupReal
+			}
+			b.ReportMetric(speedup, "speedup_real_x")
+		})
+	}
+}
+
+// BenchmarkAblationBuses varies the global-bus pool on Sweep3D (Table I
+// calibrates 12) and reports the base finish time.
+func BenchmarkAblationBuses(b *testing.B) {
+	for _, buses := range []int{1, 4, 12, 32, 0} {
+		buses := buses
+		b.Run(fmt.Sprintf("buses=%d", buses), func(b *testing.B) {
+			entry, _ := apps.ByName("sweep3d", benchRanks)
+			cfg := network.TestbedFor("sweep3d", benchRanks).WithBuses(buses)
+			var finish float64
+			for i := 0; i < b.N; i++ {
+				rep, err := core.Analyze(entry.App, benchRanks, cfg, tracer.DefaultConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				finish = rep.Base.FinishSec
+			}
+			b.ReportMetric(finish*1e3, "base_finish_ms")
+		})
+	}
+}
+
+// BenchmarkAblationPorts varies the per-processor port counts on SPECFEM3D,
+// whose multi-neighbour exchange is sensitive to injection concurrency.
+func BenchmarkAblationPorts(b *testing.B) {
+	for _, ports := range []int{1, 2, 4, 0} {
+		ports := ports
+		b.Run(fmt.Sprintf("ports=%d", ports), func(b *testing.B) {
+			entry, _ := apps.ByName("specfem3d", benchRanks)
+			cfg := network.TestbedFor("specfem3d", benchRanks)
+			cfg.InPorts = ports
+			cfg.OutPorts = ports
+			var finish float64
+			for i := 0; i < b.N; i++ {
+				rep, err := core.Analyze(entry.App, benchRanks, cfg, tracer.DefaultConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				finish = rep.Base.FinishSec
+			}
+			b.ReportMetric(finish*1e3, "base_finish_ms")
+		})
+	}
+}
+
+// BenchmarkAblationCongestion measures the nonlinear congestion extension
+// on POP at its calibrated bus count.
+func BenchmarkAblationCongestion(b *testing.B) {
+	for _, cf := range []float64{0, 0.5, 2} {
+		cf := cf
+		b.Run(fmt.Sprintf("factor=%g", cf), func(b *testing.B) {
+			entry, _ := apps.ByName("pop", benchRanks)
+			cfg := network.TestbedFor("pop", benchRanks)
+			cfg.CongestionFactor = cf
+			var finish float64
+			for i := 0; i < b.N; i++ {
+				rep, err := core.Analyze(entry.App, benchRanks, cfg, tracer.DefaultConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				finish = rep.Base.FinishSec
+			}
+			b.ReportMetric(finish*1e3, "base_finish_ms")
+		})
+	}
+}
+
+// BenchmarkAblationEagerThreshold compares the asynchronous-eager default
+// against rendezvous transfers on POP.
+func BenchmarkAblationEagerThreshold(b *testing.B) {
+	for _, thr := range []int64{-1, 0, 4096} {
+		thr := thr
+		b.Run(fmt.Sprintf("eager=%d", thr), func(b *testing.B) {
+			entry, _ := apps.ByName("pop", benchRanks)
+			cfg := network.TestbedFor("pop", benchRanks)
+			cfg.EagerThresholdBytes = thr
+			var finish float64
+			for i := 0; i < b.N; i++ {
+				rep, err := core.Analyze(entry.App, benchRanks, cfg, tracer.DefaultConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				finish = rep.Base.FinishSec
+			}
+			b.ReportMetric(finish*1e3, "base_finish_ms")
+		})
+	}
+}
+
+// BenchmarkAblationMessageScale sweeps CG's workload size and reports the
+// real-pattern speedup. Compute and transfer scale together with the
+// vector length while the per-chunk latency does not, so small workloads
+// (latency-dominated exchanges) profit relatively more from hiding.
+func BenchmarkAblationMessageScale(b *testing.B) {
+	for _, scale := range []float64{0.25, 1, 4} {
+		scale := scale
+		b.Run(fmt.Sprintf("size=%gx", scale), func(b *testing.B) {
+			entry, _ := apps.ByNameScaled("cg", benchRanks, apps.Scale{SizeScale: scale, IterScale: 1})
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				rep, err := core.Analyze(entry.App, benchRanks, network.TestbedFor("cg", benchRanks), tracer.DefaultConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				speedup = rep.SpeedupReal
+			}
+			b.ReportMetric(speedup, "speedup_real_x")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Engine micro-benchmarks.
+
+// ringTrace builds a ring-exchange trace for simulator throughput tests.
+func ringTrace(n, iters int, instr, bytes int64) *trace.Trace {
+	tr := trace.New("ring", "base", n)
+	for it := 0; it < iters; it++ {
+		for r := 0; r < n; r++ {
+			next := (r + 1) % n
+			prev := (r + n - 1) % n
+			tr.Append(r, trace.Record{Kind: trace.KindCompute, Instr: instr})
+			tr.Append(r, trace.Record{Kind: trace.KindISend, Peer: next, Tag: it, Bytes: bytes})
+			tr.Append(r, trace.Record{Kind: trace.KindRecv, Peer: prev, Tag: it, Bytes: bytes})
+		}
+	}
+	return tr
+}
+
+// BenchmarkSimulatorReplay measures the discrete-event engine: records
+// replayed per second on a 32-rank ring.
+func BenchmarkSimulatorReplay(b *testing.B) {
+	tr := ringTrace(32, 50, 100_000, 10_000)
+	cfg := network.Testbed(32)
+	records := 0
+	for r := range tr.Ranks {
+		records += len(tr.Ranks[r].Records)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(records), "records/replay")
+}
+
+// BenchmarkTracerInstrumentation measures the per-access tracking cost.
+func BenchmarkTracerInstrumentation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := tracer.Trace("bench", 1, tracer.DefaultConfig(), func(p *tracer.Proc) {
+			a := p.NewArray("buf", 1024)
+			for j := 0; j < 1024; j++ {
+				a.Store(j, float64(j))
+			}
+			for j := 0; j < 1024; j++ {
+				_ = a.Load(j)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceEncodeDecode measures the text codec round trip.
+func BenchmarkTraceEncodeDecode(b *testing.B) {
+	tr := ringTrace(16, 20, 1_000_000, 64_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := trace.Write(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := trace.Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverlapTransformation measures the trace-builder cost on a CG
+// run (event log -> three traces).
+func BenchmarkOverlapTransformation(b *testing.B) {
+	entry, _ := apps.ByName("cg", benchRanks)
+	run, err := tracer.Trace("cg", benchRanks, tracer.DefaultConfig(), entry.App.Kernel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if run.BaseTrace() == nil || run.OverlapReal() == nil || run.OverlapIdeal() == nil {
+			b.Fatal("nil trace")
+		}
+	}
+}
+
+// BenchmarkPatternAnalysis measures the Table II computation on a CG run.
+func BenchmarkPatternAnalysis(b *testing.B) {
+	entry, _ := apps.ByName("cg", benchRanks)
+	run, err := tracer.Trace("cg", benchRanks, tracer.DefaultConfig(), entry.App.Kernel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pattern.Analyze(run) == nil {
+			b.Fatal("nil analysis")
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section from the Go reproduction:
+//
+//	Table I   — per-application Dimemas bus counts (configuration)
+//	Figure 4  — Paraver-style timelines of NAS-CG, non-overlapped vs
+//	            overlapped, plus the measured improvement
+//	Figure 5  — production/consumption scatter plots (Sweep3D, BT, POP)
+//	Table II  — production/consumption pattern statistics, all six apps
+//	Figure 6a — overlap speedup, real and ideal patterns
+//	Figure 6b — bandwidth relaxation of the overlapped execution
+//	Figure 6c — equivalent bandwidth of the non-overlapped execution
+//
+// Usage:
+//
+//	experiments [-ranks N] [-chunks K] [-only table1,fig4,...]
+//
+// Output goes to stdout; -csvdir writes the Fig. 5 scatter data as CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/paraver"
+	"repro/internal/pattern"
+	"repro/internal/plot"
+	"repro/internal/sim"
+	"repro/internal/tracer"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 16, "ranks per application run (the paper uses 64)")
+	chunks := flag.Int("chunks", 4, "chunks per message in the overlapped traces")
+	only := flag.String("only", "all", "comma-separated subset: table1,fig4,fig5,table2,fig6a,fig6b,fig6c,extras")
+	csvdir := flag.String("csvdir", "", "directory for Fig. 5 CSV scatter data (optional)")
+	svgdir := flag.String("svgdir", "", "directory for SVG figures (optional)")
+	width := flag.Int("width", 100, "timeline/scatter width in characters")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, k := range strings.Split(*only, ",") {
+		want[strings.TrimSpace(k)] = true
+	}
+	sel := func(k string) bool { return want["all"] || want[k] }
+
+	tCfg := tracer.DefaultConfig()
+	tCfg.Chunks = *chunks
+
+	if sel("table1") {
+		table1()
+	}
+
+	// Analyze every app once on its calibrated testbed; reuse the
+	// reports across artifacts.
+	reports := map[string]*core.Report{}
+	runs := map[string]*tracer.Run{}
+	if sel("fig4") || sel("fig5") || sel("table2") || sel("fig6a") || sel("fig6b") || sel("fig6c") {
+		for _, e := range apps.All(*ranks) {
+			cfg := network.TestbedFor(e.App.Name, *ranks)
+			rep, err := core.Analyze(e.App, *ranks, cfg, tCfg)
+			if err != nil {
+				fatal("analyzing %s: %v", e.App.Name, err)
+			}
+			reports[e.App.Name] = rep
+			run, err := tracer.Trace(e.App.Name, *ranks, tCfg, e.App.Kernel)
+			if err != nil {
+				fatal("tracing %s: %v", e.App.Name, err)
+			}
+			runs[e.App.Name] = run
+		}
+	}
+
+	if sel("fig4") {
+		fig4(tCfg, *width)
+	}
+	if sel("fig5") {
+		fig5(runs, *csvdir, *svgdir, *width)
+	}
+	if sel("table2") {
+		table2(runs)
+	}
+	if sel("fig6a") {
+		fig6a(reports, *svgdir)
+	}
+	if sel("fig6b") {
+		fig6b(reports)
+	}
+	if sel("fig6c") {
+		fig6c(reports)
+	}
+	if sel("extras") {
+		extras(*ranks, tCfg)
+	}
+}
+
+// extras prints the analyses this reproduction adds beyond the paper's
+// artifacts: critical-path attribution and per-buffer what-if rankings.
+func extras(ranks int, tCfg tracer.Config) {
+	header("Extras — critical paths and per-buffer what-if (beyond the paper)")
+	for _, e := range apps.All(ranks) {
+		name := e.App.Name
+		cfg := network.TestbedFor(name, ranks)
+		rep, err := core.Analyze(e.App, ranks, cfg, tCfg)
+		if err != nil {
+			fatal("extras %s: %v", name, err)
+		}
+		fmt.Printf("\n-- %s, non-overlapped --\n", name)
+		fmt.Print(sim.CriticalPathOf(rep.Base).Format(4))
+		wi, err := core.WhatIf(e.App, ranks, cfg, tCfg)
+		if err != nil {
+			fatal("extras %s what-if: %v", name, err)
+		}
+		fmt.Print(wi.Format())
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func header(title string) {
+	fmt.Printf("\n================ %s ================\n", title)
+}
+
+func table1() {
+	header("Table I — number of network buses used in Dimemas for each application")
+	fmt.Printf("%-12s %s\n", "app", "buses")
+	for _, name := range apps.Names {
+		fmt.Printf("%-12s %d\n", name, network.TableIBuses[name])
+	}
+}
+
+// fig4 reproduces the Figure 4 view: NAS-CG on 4 processes, first
+// iterations, non-overlapped vs overlapped timeline.
+func fig4(tCfg tracer.Config, width int) {
+	header("Figure 4 — Paraver view of NAS-CG (4 ranks): non-overlapped vs overlapped")
+	e, _ := apps.ByName("cg", 4)
+	rep, err := core.Analyze(e.App, 4, network.TestbedFor("cg", 4), tCfg)
+	if err != nil {
+		fatal("fig4: %v", err)
+	}
+	fmt.Print(paraver.RenderComparison(rep.Base, rep.Real, "cg/non-overlapped", "cg/overlapped(real)", width))
+	fmt.Println("\nnon-overlapped profile:")
+	fmt.Print(paraver.ProfileOf(rep.Base).Format())
+	fmt.Println("overlapped profile:")
+	fmt.Print(paraver.ProfileOf(rep.Real).Format())
+	fmt.Println("first transfers (watch the send->match lines lengthen under overlap):")
+	fmt.Print(paraver.CommLines(rep.Real, 8))
+}
+
+var fig5Specs = []struct {
+	app, buffer string
+	side        pattern.Side
+	rank        int
+	caption     string
+}{
+	{"sweep3d", "outflow-east", pattern.Production, 0, "(a) SWEEP3D production pattern"},
+	{"bt", "face-in", pattern.Consumption, 1, "(b) NAS-BT consumption pattern"},
+	{"pop", "halo-in-e", pattern.Consumption, 0, "(c) POP consumption pattern"},
+}
+
+func fig5(runs map[string]*tracer.Run, csvdir, svgdir string, width int) {
+	header("Figure 5 — production and consumption patterns")
+	for _, spec := range fig5Specs {
+		run := runs[spec.app]
+		sc := pattern.ScatterFor(run, spec.buffer, spec.rank, spec.side)
+		if sc == nil {
+			fmt.Printf("%s: no data (buffer %q rank %d)\n", spec.caption, spec.buffer, spec.rank)
+			continue
+		}
+		fmt.Println(spec.caption)
+		fmt.Print(sc.ASCII(width, 16))
+		fmt.Println()
+		if csvdir != "" {
+			path := filepath.Join(csvdir, fmt.Sprintf("fig5_%s_%s.csv", spec.app, sc.Side))
+			f, err := os.Create(path)
+			if err != nil {
+				fatal("fig5 csv: %v", err)
+			}
+			if err := sc.WriteCSV(f); err != nil {
+				fatal("fig5 csv: %v", err)
+			}
+			f.Close()
+			fmt.Printf("wrote %s (%d points)\n", path, len(sc.Points))
+		}
+		if svgdir != "" {
+			pts := make([]plot.ScatterPoint, len(sc.Points))
+			for i, p := range sc.Points {
+				pts[i] = plot.ScatterPoint{X: p.RelT, Y: float64(p.Elem)}
+			}
+			path := filepath.Join(svgdir, fmt.Sprintf("fig5_%s_%s.svg", spec.app, sc.Side))
+			f, err := os.Create(path)
+			if err != nil {
+				fatal("fig5 svg: %v", err)
+			}
+			if err := plot.WriteScatterSVG(f, spec.caption, "relative interval time", "element offset", pts); err != nil {
+				fatal("fig5 svg: %v", err)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+}
+
+func table2(runs map[string]*tracer.Run) {
+	header("Table II — production and consumption average patterns")
+	var rows []*pattern.Analysis
+	for _, name := range apps.Names {
+		rows = append(rows, pattern.Analyze(runs[name]))
+	}
+	fmt.Print(pattern.FormatTableII(rows))
+}
+
+func fig6a(reports map[string]*core.Report, svgdir string) {
+	header("Figure 6a — speedup of the overlapped execution (250 MB/s testbed)")
+	fmt.Printf("%-12s %14s %14s\n", "app", "real patterns", "ideal patterns")
+	var groups []plot.BarGroup
+	for _, name := range apps.Names {
+		rep := reports[name]
+		fmt.Printf("%-12s %14.3f %14.3f\n", name, rep.SpeedupReal, rep.SpeedupIdeal)
+		groups = append(groups, plot.BarGroup{Label: name, Values: []float64{rep.SpeedupReal, rep.SpeedupIdeal}})
+	}
+	if svgdir != "" {
+		path := filepath.Join(svgdir, "fig6a_speedup.svg")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal("fig6a svg: %v", err)
+		}
+		if err := plot.WriteBarsSVG(f, "Fig. 6a — overlap speedup", "speedup (x)",
+			[]string{"real patterns", "ideal patterns"}, groups); err != nil {
+			fatal("fig6a svg: %v", err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+func fig6b(reports map[string]*core.Report) {
+	header("Figure 6b — bandwidth needed by the overlapped execution to match the non-overlapped at 250 MB/s")
+	fmt.Printf("%-12s %s\n", "app", "real | ideal")
+	for _, name := range apps.Names {
+		rep := reports[name]
+		re, err := rep.RelaxedBandwidth(core.FlavorReal, metrics.DefaultSearch())
+		if err != nil {
+			fatal("fig6b %s: %v", name, err)
+		}
+		id, err := rep.RelaxedBandwidth(core.FlavorIdeal, metrics.DefaultSearch())
+		if err != nil {
+			fatal("fig6b %s: %v", name, err)
+		}
+		fmt.Printf("%-12s %18s | %18s\n", name, metrics.FormatMBps(re), metrics.FormatMBps(id))
+	}
+}
+
+func fig6c(reports map[string]*core.Report) {
+	header("Figure 6c — bandwidth the non-overlapped execution needs to match the overlapped at 250 MB/s")
+	fmt.Printf("%-12s %s\n", "app", "real | ideal (x = factor over 250 MB/s)")
+	for _, name := range apps.Names {
+		rep := reports[name]
+		re, err := rep.EquivalentBandwidth(core.FlavorReal, metrics.DefaultSearch())
+		if err != nil {
+			fatal("fig6c %s: %v", name, err)
+		}
+		id, err := rep.EquivalentBandwidth(core.FlavorIdeal, metrics.DefaultSearch())
+		if err != nil {
+			fatal("fig6c %s: %v", name, err)
+		}
+		fmt.Printf("%-12s %18s (%.2fx) | %18s (%sx)\n", name,
+			metrics.FormatMBps(re), metrics.BandwidthFactor(re, 250),
+			metrics.FormatMBps(id), factorStr(metrics.BandwidthFactor(id, 250)))
+	}
+}
+
+func factorStr(f float64) string {
+	if math.IsInf(f, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f", f)
+}

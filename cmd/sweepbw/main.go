@@ -1,0 +1,108 @@
+// Command sweepbw reproduces the bandwidth studies of Figure 6b and 6c and
+// prints the raw finish-time-vs-bandwidth series behind them.
+//
+// Modes:
+//
+//	-mode relax   minimum bandwidth at which the overlapped execution
+//	              still matches the non-overlapped one at the reference
+//	              bandwidth (Fig. 6b)
+//	-mode equiv   bandwidth the non-overlapped execution needs to match
+//	              the overlapped one at the reference bandwidth (Fig. 6c)
+//	-mode series  finish times of all three flavours across a bandwidth
+//	              sweep (the raw curves)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/tracer"
+)
+
+func main() {
+	app := flag.String("app", "cg", "application: sweep3d|pop|alya|specfem3d|bt|cg")
+	ranks := flag.Int("ranks", 16, "number of ranks")
+	mode := flag.String("mode", "relax", "relax|equiv|series")
+	refBW := flag.Float64("ref", 250, "reference bandwidth in MB/s")
+	bws := flag.String("bws", "2,8,31,125,250,500,2000,8000", "comma-separated bandwidths for -mode series")
+	flag.Parse()
+
+	entry, ok := apps.ByName(*app, *ranks)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sweepbw: unknown app %q (known: %v)\n", *app, apps.Names)
+		os.Exit(2)
+	}
+	cfg := network.TestbedFor(*app, *ranks).WithBandwidth(*refBW)
+	rep, err := core.Analyze(entry.App, *ranks, cfg, tracer.DefaultConfig())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweepbw: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch *mode {
+	case "relax":
+		fmt.Printf("%s: non-overlapped finish at %.0f MB/s: %.6f s\n", *app, *refBW, rep.Base.FinishSec)
+		for _, f := range []core.Flavor{core.FlavorReal, core.FlavorIdeal} {
+			bw, err := rep.RelaxedBandwidth(f, metrics.DefaultSearch())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sweepbw: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  %-14s may relax bandwidth to %s (%.1f%% of reference)\n",
+				f, metrics.FormatMBps(bw), 100*bw / *refBW)
+		}
+	case "equiv":
+		for _, f := range []core.Flavor{core.FlavorReal, core.FlavorIdeal} {
+			fmt.Printf("%s: overlapped (%s) finish at %.0f MB/s: %.6f s\n",
+				*app, f, *refBW, rep.ResultOf(f).FinishSec)
+			bw, err := rep.EquivalentBandwidth(f, metrics.DefaultSearch())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sweepbw: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  non-overlapped needs %s (%sx the reference)\n",
+				metrics.FormatMBps(bw), factor(metrics.BandwidthFactor(bw, *refBW)))
+		}
+	case "series":
+		var list []float64
+		for _, s := range strings.Split(*bws, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "sweepbw: bad bandwidth %q\n", s)
+				os.Exit(2)
+			}
+			list = append(list, v)
+		}
+		fmt.Printf("%-10s %14s %14s %14s\n", "MB/s", "base (s)", "overlap-real", "overlap-ideal")
+		series := map[core.Flavor]*metrics.Series{}
+		for _, f := range []core.Flavor{core.FlavorBase, core.FlavorReal, core.FlavorIdeal} {
+			s, err := rep.BandwidthSweep(f, list)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sweepbw: %v\n", err)
+				os.Exit(1)
+			}
+			series[f] = s
+		}
+		for i, bw := range list {
+			fmt.Printf("%-10.1f %14.6f %14.6f %14.6f\n", bw,
+				series[core.FlavorBase].Y[i], series[core.FlavorReal].Y[i], series[core.FlavorIdeal].Y[i])
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "sweepbw: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func factor(f float64) string {
+	if f != f || f > 1e15 { // NaN or effectively infinite
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f", f)
+}

@@ -1,0 +1,160 @@
+// Command tracecat inspects trace files produced by the framework (both
+// the text .dim dialect and the compact binary format): it validates,
+// summarizes, converts between codecs, and optionally replays a trace on a
+// platform configuration.
+//
+// Examples:
+//
+//	overlapsim -app cg -ranks 4 -dump-traces /tmp/cg
+//	tracecat /tmp/cg/cg-base.dim
+//	tracecat -convert binary -o /tmp/cg.bin /tmp/cg/cg-base.dim
+//	tracecat -replay -net platform.json /tmp/cg.bin
+//	tracecat -head 20 /tmp/cg/cg-overlap-real.dim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	convert := flag.String("convert", "", "rewrite as 'text' or 'binary' to -o")
+	out := flag.String("o", "", "output path for -convert")
+	head := flag.Int("head", 0, "print the first N records of every rank")
+	replay := flag.Bool("replay", false, "replay the trace and print timings")
+	netFile := flag.String("net", "", "platform JSON for -replay (default: testbed sized to the trace)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecat [flags] <trace-file>")
+		os.Exit(2)
+	}
+	tr, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecat: %v\n", err)
+		os.Exit(1)
+	}
+
+	if err := tr.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecat: trace INVALID: %v\n", err)
+		os.Exit(1)
+	}
+	s := tr.Stats()
+	fmt.Printf("trace %q flavor %q: %d ranks, %d records\n", tr.Name, tr.Flavor, tr.NumRanks, s.Records)
+	fmt.Printf("  compute: %d instructions\n", s.ComputeInstr)
+	fmt.Printf("  messages: %d (%d bytes), max chunk index %d\n", s.Messages, s.BytesSent, s.MaxChunkIndex)
+	fmt.Printf("  recvs: %d blocking, %d irecv, %d wait, %d waitall\n", s.Recvs, s.IRecvs, s.Waits, s.WaitAlls)
+	fmt.Println("  validation: OK")
+
+	if *head > 0 {
+		for r := range tr.Ranks {
+			fmt.Printf("rank %d:\n", r)
+			recs := tr.Ranks[r].Records
+			n := *head
+			if n > len(recs) {
+				n = len(recs)
+			}
+			for i := 0; i < n; i++ {
+				rec := recs[i]
+				switch rec.Kind {
+				case trace.KindCompute:
+					fmt.Printf("  %4d compute %d\n", i, rec.Instr)
+				case trace.KindWait:
+					fmt.Printf("  %4d wait h=%d\n", i, rec.Handle)
+				case trace.KindWaitAll:
+					fmt.Printf("  %4d waitall\n", i)
+				case trace.KindIRecv:
+					fmt.Printf("  %4d %s peer=%d tag=%d chunk=%d bytes=%d h=%d\n",
+						i, rec.Kind, rec.Peer, rec.Tag, rec.Chunk, rec.Bytes, rec.Handle)
+				default:
+					fmt.Printf("  %4d %s peer=%d tag=%d chunk=%d bytes=%d\n",
+						i, rec.Kind, rec.Peer, rec.Tag, rec.Chunk, rec.Bytes)
+				}
+			}
+			if n < len(recs) {
+				fmt.Printf("  ... %d more\n", len(recs)-n)
+			}
+		}
+	}
+
+	if *convert != "" {
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "tracecat: -convert needs -o")
+			os.Exit(2)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecat: %v\n", err)
+			os.Exit(1)
+		}
+		switch *convert {
+		case "text":
+			err = trace.Write(f, tr)
+		case "binary":
+			err = trace.WriteBinary(f, tr)
+		default:
+			err = fmt.Errorf("unknown codec %q", *convert)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecat: convert: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%s)\n", *out, *convert)
+	}
+
+	if *replay {
+		cfg := network.Testbed(tr.NumRanks)
+		if *netFile != "" {
+			f, err := os.Open(*netFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tracecat: %v\n", err)
+				os.Exit(1)
+			}
+			cfg, err = network.ReadJSON(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tracecat: %v\n", err)
+				os.Exit(1)
+			}
+			if cfg.Processors < tr.NumRanks {
+				cfg = cfg.WithProcessors(tr.NumRanks)
+			}
+		}
+		res, err := sim.Run(cfg, tr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecat: replay: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("replay: finish %.6f s, total wait %.6f s, total compute %.6f s\n",
+			res.FinishSec, res.TotalWaitSec(), res.TotalComputeSec())
+		fmt.Print(sim.CriticalPathOf(res).Format(6))
+	}
+}
+
+// load reads a trace in either codec, sniffing the magic.
+func load(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := f.Read(magic[:]); err != nil {
+		return nil, fmt.Errorf("read magic: %w", err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	if string(magic[:7]) == "#DIMGO " {
+		return trace.Read(f)
+	}
+	return trace.ReadBinary(f)
+}

@@ -1,0 +1,70 @@
+// Package alya models the Alya multi-physics code's NASTIN module: the
+// incompressible Navier-Stokes solver whose instrumented kernel
+// "communicates mainly using MPI reduction collectives of length of one
+// element" (Table II note). Each solver iteration assembles a residual,
+// accumulating a handful of scalar dot products that feed global
+// Allreduce operations; the reduced values steer the next iteration.
+//
+// Because the messages have a single element, they cannot be chunked into
+// partial transfers — the Alya row of Table II therefore only reports the
+// first-element columns: production at 98.8% (the accumulator receives its
+// final value just before the reduction) and consumption at 0.4% (the
+// reduced scalar is consumed right away). Overlap at the MPI level cannot
+// help such an application, which the Fig. 6 results confirm.
+package alya
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/tracer"
+)
+
+// Config sizes the kernel.
+type Config struct {
+	// Iterations is the number of outer solver iterations.
+	Iterations int
+	// InnerReductions is how many scalar Allreduce operations one
+	// iteration performs (the CG solver's dot products).
+	InnerReductions int
+	// AssemblyInstr is the residual-assembly compute between
+	// reductions, in instructions.
+	AssemblyInstr int64
+	// AccumUpdates is how many partial updates the scalar accumulator
+	// receives during one assembly (it keeps its final value only at
+	// the end: the 98.8% production pattern).
+	AccumUpdates int
+}
+
+// DefaultConfig follows the NASTIN shape: a few dot products per
+// iteration, each preceded by a long assembly.
+func DefaultConfig() Config {
+	return Config{
+		Iterations:      6,
+		InnerReductions: 4,
+		AssemblyInstr:   400_000,
+		AccumUpdates:    8,
+	}
+}
+
+// Kernel runs one rank of the NASTIN solver loop.
+func Kernel(cfg Config) func(p *tracer.Proc) {
+	return func(p *tracer.Proc) {
+		dot := p.NewArray("dot", 1)
+		res := p.NewArray("residual", 1)
+		for it := 0; it < cfg.Iterations; it++ {
+			for k := 0; k < cfg.InnerReductions; k++ {
+				// Residual assembly: the accumulator is updated
+				// repeatedly; only the last write is its final value.
+				slice := cfg.AssemblyInstr / int64(cfg.AccumUpdates)
+				for u := 0; u < cfg.AccumUpdates; u++ {
+					p.Compute(slice)
+					dot.Store(0, float64(it*cfg.InnerReductions+k)+float64(u))
+				}
+				// Global dot product: a one-element reduction that can
+				// never be chunked.
+				p.AllreduceTracked(dot, res, mpi.OpSum)
+				// The reduced value steers the solver immediately.
+				_ = res.Load(0)
+			}
+		}
+	}
+}

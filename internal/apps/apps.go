@@ -1,0 +1,116 @@
+// Package apps registers the paper's six-application pool (Section IV):
+// Sweep3D, POP, Alya, SPECFEM3D, and the NAS benchmarks BT and CG, each
+// rebuilt as a synthetic kernel with the communication structure and the
+// production/consumption patterns the paper measures for it.
+package apps
+
+import (
+	"repro/internal/apps/alya"
+	"repro/internal/apps/bt"
+	"repro/internal/apps/cg"
+	"repro/internal/apps/pop"
+	"repro/internal/apps/specfem"
+	"repro/internal/apps/sweep3d"
+	"repro/internal/core"
+	"repro/internal/tracer"
+)
+
+// Names lists the pool in the paper's Table I order.
+var Names = []string{"sweep3d", "pop", "alya", "specfem3d", "bt", "cg"}
+
+// Entry pairs an application with its descriptive metadata.
+type Entry struct {
+	App         core.App
+	Description string
+}
+
+// Scale adjusts an application's workload: SizeScale multiplies the
+// communicated-buffer lengths (and with them the transferred bytes),
+// IterScale the iteration counts. 1/1 is the calibrated default workload.
+// Scaling preserves each kernel's pattern *shape* while moving its
+// communication/computation balance — the workload-generation knob for
+// parameter sweeps.
+type Scale struct {
+	SizeScale float64
+	IterScale float64
+}
+
+// DefaultScale is the calibrated workload.
+func DefaultScale() Scale { return Scale{SizeScale: 1, IterScale: 1} }
+
+func scaleInt(v int, f float64) int {
+	if f <= 0 {
+		f = 1
+	}
+	s := int(float64(v)*f + 0.5)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// ByName returns the named application configured with its defaults for
+// the given rank count. The boolean reports whether the name is known.
+func ByName(name string, ranks int) (Entry, bool) {
+	return ByNameScaled(name, ranks, DefaultScale())
+}
+
+// ByNameScaled returns the named application with a scaled workload.
+func ByNameScaled(name string, ranks int, sc Scale) (Entry, bool) {
+	var kernel func(p *tracer.Proc)
+	var desc string
+	switch name {
+	case "sweep3d":
+		cfg := sweep3d.DefaultConfig(ranks)
+		cfg.Boundary = scaleInt(cfg.Boundary, sc.SizeScale)
+		cfg.Iterations = scaleInt(cfg.Iterations, sc.IterScale)
+		kernel = sweep3d.Kernel(cfg)
+		desc = "wavefront neutron transport (pipeline dependencies, late production)"
+	case "pop":
+		cfg := pop.DefaultConfig(ranks)
+		cfg.HaloLen = scaleInt(cfg.HaloLen, sc.SizeScale)
+		cfg.Iterations = scaleInt(cfg.Iterations, sc.IterScale)
+		kernel = pop.Kernel(cfg)
+		desc = "ocean model (2D halo exchange, late pack, small independent work)"
+	case "alya":
+		cfg := alya.DefaultConfig()
+		// Single-element reductions cannot scale in size; scale the
+		// solver depth instead.
+		cfg.InnerReductions = scaleInt(cfg.InnerReductions, sc.SizeScale)
+		cfg.Iterations = scaleInt(cfg.Iterations, sc.IterScale)
+		kernel = alya.Kernel(cfg)
+		desc = "NASTIN Navier-Stokes (one-element reductions, unchunkable)"
+	case "specfem3d":
+		cfg := specfem.DefaultConfig()
+		cfg.BoundaryLen = scaleInt(cfg.BoundaryLen, sc.SizeScale)
+		cfg.Iterations = scaleInt(cfg.Iterations, sc.IterScale)
+		kernel = specfem.Kernel(cfg)
+		desc = "seismic wave propagation (assembly exchange, immediate consumption)"
+	case "bt":
+		cfg := bt.DefaultConfig()
+		cfg.FaceLen = scaleInt(cfg.FaceLen, sc.SizeScale)
+		cfg.Iterations = scaleInt(cfg.Iterations, sc.IterScale)
+		kernel = bt.Kernel(cfg)
+		desc = "NAS block-tridiagonal (pack at 99%, four copy passes)"
+	case "cg":
+		cfg := cg.DefaultConfig()
+		cfg.VectorLen = scaleInt(cfg.VectorLen, sc.SizeScale)
+		cfg.Iterations = scaleInt(cfg.Iterations, sc.IterScale)
+		kernel = cg.Kernel(cfg)
+		desc = "NAS conjugate gradient (near-linear patterns, overlap friendly)"
+	default:
+		return Entry{}, false
+	}
+	return Entry{App: core.App{Name: name, Kernel: kernel}, Description: desc}, true
+}
+
+// All returns the whole pool configured for the given rank count, in the
+// paper's order.
+func All(ranks int) []Entry {
+	out := make([]Entry, 0, len(Names))
+	for _, n := range Names {
+		e, _ := ByName(n, ranks)
+		out = append(out, e)
+	}
+	return out
+}

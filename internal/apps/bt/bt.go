@@ -1,0 +1,107 @@
+// Package bt models the NAS-BT block-tridiagonal kernel: each iteration
+// performs directional solve phases; at the end of each phase the boundary
+// faces are packed into a buffer and exchanged with the ring neighbour, and
+// the received faces are copied out into working storage right away.
+//
+// BT is the paper's textbook *unfavourable* case:
+//
+//   - Production (Table II: 99.1/99.37/99.56/99.98): the message is packed
+//     in a tight copy loop immediately before the send, so nothing can be
+//     advanced.
+//   - Consumption (Fig. 5b, Table II: 13.68/13.71/13.74): after ~13.7% of
+//     independent work, "all the elements of the received buffer are loaded
+//     four times, each time in an extremely short interval, implying that
+//     the data is copied to some other location" — the four tight copy
+//     passes this kernel performs. Such patterns leave almost no room to
+//     postpone receptions.
+package bt
+
+import (
+	"repro/internal/tracer"
+)
+
+// Config sizes the kernel.
+type Config struct {
+	// Iterations is the number of outer time steps.
+	Iterations int
+	// Phases is the directional solves per step (x, y, z in BT).
+	Phases int
+	// FaceLen is the exchanged face-buffer length in elements.
+	FaceLen int
+	// PhaseInstr is the main solve cost per phase, in instructions.
+	PhaseInstr int64
+	// IndepPct is the share of the phase executed before the received
+	// data is first touched (the paper measures 13.68%).
+	IndepPct int
+	// CopyPasses is how many tight copy passes read the received buffer
+	// (the paper observes four).
+	CopyPasses int
+}
+
+// DefaultConfig follows the measured shape: three directional phases, four
+// copy passes, ~13.7% independent work.
+func DefaultConfig() Config {
+	return Config{
+		Iterations: 4,
+		Phases:     3,
+		FaceLen:    2800,
+		PhaseInstr: 1_200_000,
+		IndepPct:   12,
+		CopyPasses: 4,
+	}
+}
+
+const tagFace = 1
+
+// Kernel runs one rank of BT on a ring: each phase sends the packed face to
+// the next rank and receives from the previous one.
+func Kernel(cfg Config) func(p *tracer.Proc) {
+	return func(p *tracer.Proc) {
+		me, size := p.Rank(), p.Size()
+		if size == 1 {
+			for it := 0; it < cfg.Iterations*cfg.Phases; it++ {
+				p.Compute(cfg.PhaseInstr)
+			}
+			return
+		}
+		next := (me + 1) % size
+		prev := (me - 1 + size) % size
+		n := cfg.FaceLen
+
+		out := p.NewArray("face-out", n)
+		in := p.NewArray("face-in", n)
+
+		indep := cfg.PhaseInstr * int64(cfg.IndepPct) / 100
+		main := cfg.PhaseInstr - indep
+
+		for it := 0; it < cfg.Iterations; it++ {
+			for ph := 0; ph < cfg.Phases; ph++ {
+				first := it == 0 && ph == 0
+				// Independent work: cell updates that do not touch the
+				// incoming face.
+				p.Compute(indep)
+				// Four tight copy passes pull the received face into
+				// working storage (skipped before the first exchange).
+				if !first {
+					for pass := 0; pass < cfg.CopyPasses; pass++ {
+						for i := 0; i < n; i++ {
+							_ = in.Load(i)
+						}
+					}
+				}
+				// Main directional solve.
+				p.Compute(main)
+				// Pack the outgoing face in a tight loop just before
+				// sending: the 99% production pattern.
+				for i := 0; i < n; i++ {
+					out.Store(i, float64(it*cfg.Phases+ph)+float64(i))
+				}
+				// Ring exchange with non-blocking transfers, the way
+				// the NPB implementation overlaps its own face traffic.
+				req := p.Irecv(in, prev, tagFace)
+				p.Isend(next, tagFace, out)
+				req.Wait()
+			}
+		}
+	}
+}

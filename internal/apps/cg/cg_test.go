@@ -1,0 +1,110 @@
+package cg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/tracer"
+)
+
+func traceIt(t *testing.T, ranks int, cfg Config) *tracer.Run {
+	t.Helper()
+	run, err := tracer.Trace("cg", ranks, tracer.DefaultConfig(), Kernel(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func TestTracesValidateAcrossWorldSizes(t *testing.T) {
+	for _, ranks := range []int{1, 2, 3, 4, 8} {
+		run := traceIt(t, ranks, DefaultConfig())
+		for _, tr := range []interface{ Validate() error }{run.BaseTrace(), run.OverlapReal(), run.OverlapIdeal()} {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("ranks=%d: %v", ranks, err)
+			}
+		}
+	}
+}
+
+func TestOddWorldLeavesLastRankLocal(t *testing.T) {
+	run := traceIt(t, 3, DefaultConfig())
+	for _, e := range run.Logs[2].Events {
+		switch e.Kind {
+		case tracer.EvSend, tracer.EvRecv, tracer.EvISend, tracer.EvIRecvPost:
+			t.Fatalf("lone rank communicated: %+v", e)
+		}
+	}
+}
+
+func TestPairExchangeVolume(t *testing.T) {
+	cfg := DefaultConfig()
+	run := traceIt(t, 4, cfg)
+	tr := run.BaseTrace()
+	st := tr.Stats()
+	// Each of the 4 ranks sends one vector per iteration.
+	wantMsgs := 4 * cfg.Iterations
+	if st.Messages != wantMsgs {
+		t.Fatalf("messages=%d, want %d", st.Messages, wantMsgs)
+	}
+	wantBytes := int64(wantMsgs) * int64(cfg.VectorLen) * 8
+	if st.BytesSent != wantBytes {
+		t.Fatalf("bytes=%d, want %d", st.BytesSent, wantBytes)
+	}
+	// Traffic only flows within pairs.
+	for _, pv := range tr.PairVolumes() {
+		if pv.Src^1 != pv.Dst {
+			t.Fatalf("traffic outside pair: %d->%d", pv.Src, pv.Dst)
+		}
+	}
+}
+
+func TestNearLinearPatterns(t *testing.T) {
+	run := traceIt(t, 2, DefaultConfig())
+	an := pattern.Analyze(run)
+	p := an.AppProduction
+	if p.FirstElem > 10 {
+		t.Errorf("FirstElem=%.1f%%, want a small prelude (paper: 3.98%%)", p.FirstElem)
+	}
+	if math.Abs(p.Quarter-25) > 10 || math.Abs(p.Half-50) > 10 {
+		t.Errorf("production not near-linear: %.1f/%.1f", p.Quarter, p.Half)
+	}
+	c := an.AppConsumption
+	if math.Abs(c.Quarter-25) > 12 || math.Abs(c.Half-50) > 15 {
+		t.Errorf("consumption not near-linear: %.1f/%.1f", c.Quarter, c.Half)
+	}
+}
+
+func TestDataFlowsBetweenPartners(t *testing.T) {
+	// The matvec of iteration 1 must read the partner's iteration-0
+	// vector: verify real values moved through the substrate by checking
+	// the traced loads exist and the run completed without panics.
+	cfg := DefaultConfig()
+	cfg.Iterations = 2
+	run := traceIt(t, 2, cfg)
+	loads := 0
+	for _, e := range run.Logs[0].Events {
+		if e.Kind == tracer.EvLoad {
+			loads++
+		}
+	}
+	if loads != cfg.VectorLen {
+		t.Fatalf("rank 0 loaded %d elements, want %d (one matvec consumes the partner vector)", loads, cfg.VectorLen)
+	}
+}
+
+func TestInstructionBudgetMatchesConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	run := traceIt(t, 2, cfg)
+	matvec := int64(cfg.VectorLen) * cfg.WorkPerElem
+	perIter := matvec + // matvec compute
+		int64(cfg.PreludePct)*matvec/100 +
+		int64(cfg.TailPct)*matvec/100 +
+		int64(cfg.VectorLen) // stores cost 1 each
+	// Iteration 0 has no loads; later iterations add VectorLen loads.
+	want := int64(cfg.Iterations)*perIter + int64(cfg.Iterations-1)*int64(cfg.VectorLen)
+	if got := run.Logs[0].FinalClock; got != want {
+		t.Fatalf("rank 0 clock=%d, want %d", got, want)
+	}
+}

@@ -1,0 +1,186 @@
+// Package core is the public face of the framework: it chains the tracer
+// (Valgrind equivalent), the replay simulator (Dimemas equivalent), the
+// pattern analyzer, and the visualization layer into the one-call pipeline
+// the paper describes in Section III.
+//
+// One Analyze call performs what the paper's Figure 3 shows: the
+// application executes once under instrumentation, the tracer emits the
+// non-overlapped trace plus the two overlapped traces, Dimemas-style replay
+// reconstructs all three time behaviours on the configured platform, and
+// the results are bundled with the production/consumption pattern analysis.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/pattern"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tracer"
+)
+
+// App is an application kernel the framework can analyze.
+type App struct {
+	// Name labels traces and reports (lower-case, e.g. "cg").
+	Name string
+	// Kernel runs one rank of the application against the instrumented
+	// API.
+	Kernel func(p *tracer.Proc)
+}
+
+// Flavor selects one of the three reconstructed executions.
+type Flavor string
+
+// The three execution flavours of the paper.
+const (
+	FlavorBase  Flavor = "base"
+	FlavorReal  Flavor = "overlap-real"
+	FlavorIdeal Flavor = "overlap-ideal"
+)
+
+// Report is the full output of one analysis.
+type Report struct {
+	App     string
+	Ranks   int
+	Network network.Config
+
+	// Traces are the three generated traces (validated).
+	BaseTrace, RealTrace, IdealTrace *trace.Trace
+
+	// Results are the three reconstructed time behaviours on Network.
+	Base, Real, Ideal *sim.Result
+
+	// SpeedupReal and SpeedupIdeal compare overlapped flavours against
+	// the non-overlapped execution (Fig. 6a).
+	SpeedupReal, SpeedupIdeal float64
+
+	// Patterns holds the Table II / Fig. 5 analysis.
+	Patterns *pattern.Analysis
+}
+
+// Analyze traces the application once on ranks processes and reconstructs
+// the three execution flavours on the given platform.
+func Analyze(app App, ranks int, netCfg network.Config, tCfg tracer.Config) (*Report, error) {
+	if app.Kernel == nil {
+		return nil, fmt.Errorf("core: app %q has no kernel", app.Name)
+	}
+	if err := netCfg.Validate(); err != nil {
+		return nil, err
+	}
+	run, err := tracer.Trace(app.Name, ranks, tCfg, app.Kernel)
+	if err != nil {
+		return nil, fmt.Errorf("core: tracing %q: %w", app.Name, err)
+	}
+	rep := &Report{App: app.Name, Ranks: ranks, Network: netCfg}
+	rep.BaseTrace = run.BaseTrace()
+	rep.RealTrace = run.OverlapReal()
+	rep.IdealTrace = run.OverlapIdeal()
+	for _, tr := range []*trace.Trace{rep.BaseTrace, rep.RealTrace, rep.IdealTrace} {
+		if err := tr.Validate(); err != nil {
+			return nil, fmt.Errorf("core: generated trace invalid: %w", err)
+		}
+	}
+	if rep.Base, err = sim.Run(netCfg, rep.BaseTrace); err != nil {
+		return nil, fmt.Errorf("core: replaying base: %w", err)
+	}
+	if rep.Real, err = sim.Run(netCfg, rep.RealTrace); err != nil {
+		return nil, fmt.Errorf("core: replaying overlap-real: %w", err)
+	}
+	if rep.Ideal, err = sim.Run(netCfg, rep.IdealTrace); err != nil {
+		return nil, fmt.Errorf("core: replaying overlap-ideal: %w", err)
+	}
+	rep.SpeedupReal = metrics.Speedup(rep.Base.FinishSec, rep.Real.FinishSec)
+	rep.SpeedupIdeal = metrics.Speedup(rep.Base.FinishSec, rep.Ideal.FinishSec)
+	rep.Patterns = pattern.Analyze(run)
+	return rep, nil
+}
+
+// TraceOf returns the generated trace of one flavour.
+func (r *Report) TraceOf(f Flavor) *trace.Trace {
+	switch f {
+	case FlavorBase:
+		return r.BaseTrace
+	case FlavorReal:
+		return r.RealTrace
+	case FlavorIdeal:
+		return r.IdealTrace
+	default:
+		return nil
+	}
+}
+
+// ResultOf returns the reconstructed behaviour of one flavour on the
+// report's platform.
+func (r *Report) ResultOf(f Flavor) *sim.Result {
+	switch f {
+	case FlavorBase:
+		return r.Base
+	case FlavorReal:
+		return r.Real
+	case FlavorIdeal:
+		return r.Ideal
+	default:
+		return nil
+	}
+}
+
+// FinishAt replays one flavour's trace on a modified platform and returns
+// its makespan. It powers the bandwidth sweeps of Fig. 6b/6c.
+func (r *Report) FinishAt(f Flavor, cfg network.Config) (float64, error) {
+	tr := r.TraceOf(f)
+	if tr == nil {
+		return 0, fmt.Errorf("core: unknown flavor %q", f)
+	}
+	res, err := sim.Run(cfg, tr)
+	if err != nil {
+		return 0, err
+	}
+	return res.FinishSec, nil
+}
+
+// finishFunc adapts FinishAt to the metrics search interface, swapping only
+// the bandwidth of the report's platform.
+func (r *Report) finishFunc(f Flavor) metrics.FinishFunc {
+	return func(bw float64) (float64, error) {
+		return r.FinishAt(f, r.Network.WithBandwidth(bw))
+	}
+}
+
+// RelaxedBandwidth reproduces Fig. 6b for this application: the minimum
+// bandwidth at which the overlapped execution still matches the
+// performance of the non-overlapped execution on the report's reference
+// platform. Lower is better — it quantifies how much cheaper a network the
+// overlapped code tolerates.
+func (r *Report) RelaxedBandwidth(f Flavor, opts metrics.SearchOptions) (float64, error) {
+	if f == FlavorBase {
+		return 0, fmt.Errorf("core: RelaxedBandwidth needs an overlapped flavor")
+	}
+	return metrics.MinBandwidth(r.finishFunc(f), r.Base.FinishSec, opts)
+}
+
+// EquivalentBandwidth reproduces Fig. 6c: the bandwidth the non-overlapped
+// execution would need to match the overlapped execution on the reference
+// platform. +Inf means no bandwidth suffices (the Sweep3D result).
+func (r *Report) EquivalentBandwidth(f Flavor, opts metrics.SearchOptions) (float64, error) {
+	if f == FlavorBase {
+		return 0, fmt.Errorf("core: EquivalentBandwidth needs an overlapped flavor")
+	}
+	target := r.ResultOf(f).FinishSec
+	return metrics.MinBandwidth(r.finishFunc(FlavorBase), target, opts)
+}
+
+// BandwidthSweep replays one flavour across the given bandwidths and
+// returns the finish-time series, the raw data behind the Fig. 6 plots.
+func (r *Report) BandwidthSweep(f Flavor, bandwidths []float64) (*metrics.Series, error) {
+	s := &metrics.Series{Label: fmt.Sprintf("%s/%s", r.App, f)}
+	for _, bw := range bandwidths {
+		fin, err := r.FinishAt(f, r.Network.WithBandwidth(bw))
+		if err != nil {
+			return nil, err
+		}
+		s.Add(bw, fin)
+	}
+	return s, nil
+}

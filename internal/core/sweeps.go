@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/tracer"
+)
+
+// Parameter-sweep studies built on the pipeline: chunk-count ablation and
+// strong-scaling runs. Both retrace the application per point (the traced
+// execution itself depends on neither, but chunking happens at
+// trace-build time and scaling changes the rank count).
+
+// ChunkPoint is one measurement of the chunk-count ablation.
+type ChunkPoint struct {
+	Chunks                    int
+	SpeedupReal, SpeedupIdeal float64
+}
+
+// ChunkSweep measures overlap speedups across chunk counts. The paper
+// fixes 4 chunks; the sweep quantifies that design choice.
+func ChunkSweep(app App, ranks int, netCfg network.Config, tCfg tracer.Config, counts []int) ([]ChunkPoint, error) {
+	if err := netCfg.Validate(); err != nil {
+		return nil, err
+	}
+	run, err := tracer.Trace(app.Name, ranks, tCfg, app.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	base := run.BaseTrace()
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	baseRes, err := sim.Run(netCfg, base)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ChunkPoint, 0, len(counts))
+	for _, k := range counts {
+		if k <= 0 {
+			return nil, fmt.Errorf("core: chunk count %d", k)
+		}
+		// Rebuild the overlapped traces under a different chunking of
+		// the same event log.
+		kRun := *run
+		kRun.Cfg.Chunks = k
+		real := kRun.OverlapReal()
+		ideal := kRun.OverlapIdeal()
+		if err := real.Validate(); err != nil {
+			return nil, fmt.Errorf("core: chunks=%d real: %w", k, err)
+		}
+		if err := ideal.Validate(); err != nil {
+			return nil, fmt.Errorf("core: chunks=%d ideal: %w", k, err)
+		}
+		realRes, err := sim.Run(netCfg, real)
+		if err != nil {
+			return nil, err
+		}
+		idealRes, err := sim.Run(netCfg, ideal)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ChunkPoint{
+			Chunks:       k,
+			SpeedupReal:  metrics.Speedup(baseRes.FinishSec, realRes.FinishSec),
+			SpeedupIdeal: metrics.Speedup(baseRes.FinishSec, idealRes.FinishSec),
+		})
+	}
+	return out, nil
+}
+
+// ScalePoint is one measurement of a strong-scaling study.
+type ScalePoint struct {
+	Ranks                     int
+	BaseFinishSec             float64
+	SpeedupReal, SpeedupIdeal float64
+}
+
+// AppFactory builds the application configured for a given rank count
+// (kernels whose decomposition depends on the world size need this).
+type AppFactory func(ranks int) (App, error)
+
+// ScalingStudy analyzes the application across rank counts on platforms
+// derived from cfgFor.
+func ScalingStudy(factory AppFactory, rankCounts []int, cfgFor func(ranks int) network.Config, tCfg tracer.Config) ([]ScalePoint, error) {
+	out := make([]ScalePoint, 0, len(rankCounts))
+	for _, ranks := range rankCounts {
+		app, err := factory(ranks)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := Analyze(app, ranks, cfgFor(ranks), tCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: scaling at %d ranks: %w", ranks, err)
+		}
+		out = append(out, ScalePoint{
+			Ranks:         ranks,
+			BaseFinishSec: rep.Base.FinishSec,
+			SpeedupReal:   rep.SpeedupReal,
+			SpeedupIdeal:  rep.SpeedupIdeal,
+		})
+	}
+	return out, nil
+}

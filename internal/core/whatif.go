@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/tracer"
+)
+
+// What-if analysis: which buffer's production/consumption pattern limits
+// the overlap? For every communicated buffer, the analysis rebuilds the
+// overlapped trace with *only that buffer* given the ideal schedule (all
+// others keep their measured patterns) and replays it. The resulting
+// ranking tells a developer which buffer to restructure first — the
+// bottleneck-identification workflow the paper describes for its Paraver
+// views, quantified.
+
+// BufferPotential is the outcome of idealizing one buffer.
+type BufferPotential struct {
+	// Buffer is the tracked array name.
+	Buffer string
+	// FinishSec is the makespan with only this buffer idealized.
+	FinishSec float64
+	// Speedup compares against the non-overlapped execution.
+	Speedup float64
+	// GainOverReal is the speedup relative to the all-real overlapped
+	// execution: the marginal value of restructuring just this buffer.
+	GainOverReal float64
+}
+
+// WhatIf runs the per-buffer idealization study for an application. It
+// traces the application once and replays len(buffers)+2 traces.
+func WhatIf(app App, ranks int, netCfg network.Config, tCfg tracer.Config) (*WhatIfReport, error) {
+	if err := netCfg.Validate(); err != nil {
+		return nil, err
+	}
+	run, err := tracer.Trace(app.Name, ranks, tCfg, app.Kernel)
+	if err != nil {
+		return nil, fmt.Errorf("core: what-if tracing %q: %w", app.Name, err)
+	}
+	base := run.BaseTrace()
+	real := run.OverlapReal()
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if err := real.Validate(); err != nil {
+		return nil, err
+	}
+	baseRes, err := sim.Run(netCfg, base)
+	if err != nil {
+		return nil, err
+	}
+	realRes, err := sim.Run(netCfg, real)
+	if err != nil {
+		return nil, err
+	}
+	rep := &WhatIfReport{
+		App:           app.Name,
+		BaseFinishSec: baseRes.FinishSec,
+		RealFinishSec: realRes.FinishSec,
+	}
+	for _, name := range run.BufferNames() {
+		tr := run.OverlapSelective(map[string]bool{name: true})
+		if err := tr.Validate(); err != nil {
+			return nil, fmt.Errorf("core: selective trace for %q: %w", name, err)
+		}
+		res, err := sim.Run(netCfg, tr)
+		if err != nil {
+			return nil, fmt.Errorf("core: replaying selective %q: %w", name, err)
+		}
+		rep.Buffers = append(rep.Buffers, BufferPotential{
+			Buffer:       name,
+			FinishSec:    res.FinishSec,
+			Speedup:      metrics.Speedup(baseRes.FinishSec, res.FinishSec),
+			GainOverReal: metrics.Speedup(realRes.FinishSec, res.FinishSec),
+		})
+	}
+	sort.Slice(rep.Buffers, func(i, j int) bool {
+		return rep.Buffers[i].GainOverReal > rep.Buffers[j].GainOverReal
+	})
+	return rep, nil
+}
+
+// WhatIfReport ranks the buffers of one application by restructuring
+// potential.
+type WhatIfReport struct {
+	App           string
+	BaseFinishSec float64
+	RealFinishSec float64
+	// Buffers sorted by GainOverReal, best first.
+	Buffers []BufferPotential
+}
+
+// Format renders the ranking as a table.
+func (r *WhatIfReport) Format() string {
+	out := fmt.Sprintf("what-if (idealize one buffer at a time) for %s\n", r.App)
+	out += fmt.Sprintf("non-overlapped %.6f s, overlapped(real) %.6f s\n", r.BaseFinishSec, r.RealFinishSec)
+	out += fmt.Sprintf("%-20s %12s %12s %14s\n", "buffer", "finish (s)", "speedup", "gain vs real")
+	for _, b := range r.Buffers {
+		out += fmt.Sprintf("%-20s %12.6f %12.3f %14.3f\n", b.Buffer, b.FinishSec, b.Speedup, b.GainOverReal)
+	}
+	return out
+}

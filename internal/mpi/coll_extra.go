@@ -1,0 +1,97 @@
+package mpi
+
+import "fmt"
+
+// Additional point-to-point-lowered operations used by application kernels
+// and available to user code: combined send/receive, scatter, and prefix
+// reductions.
+
+// Sendrecv performs a combined exchange: data goes to dst while buf fills
+// from src, deadlock-free irrespective of the neighbour's call order thanks
+// to the buffered transport.
+func Sendrecv(p PointToPoint, dst, sendTag int, data []float64, src, recvTag int, buf []float64) {
+	p.Send(dst, sendTag, data)
+	p.Recv(buf, src, recvTag)
+}
+
+// Scatter distributes consecutive blocks of in (root only) across the
+// ranks: rank r receives block r into out. in must have Size*len(out)
+// elements on root and may be nil elsewhere.
+func Scatter(p PointToPoint, in, out []float64, root, seq int) {
+	n := p.Size()
+	m := len(out)
+	if p.Rank() == root {
+		if len(in) != n*m {
+			panic(fmt.Sprintf("mpi: Scatter in has %d elements, want %d", len(in), n*m))
+		}
+		copy(out, in[root*m:(root+1)*m])
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			p.Send(r, CollTag(seq, 0), in[r*m:(r+1)*m])
+		}
+		return
+	}
+	p.Recv(out, root, CollTag(seq, 0))
+}
+
+// Scan computes the inclusive prefix reduction: rank r receives
+// op(buf_0, ..., buf_r) element-wise in out. Linear chain: rank r waits for
+// rank r-1's prefix, folds its own contribution, forwards to r+1.
+func Scan(p PointToPoint, buf, out []float64, op Op, seq int) {
+	if len(out) != len(buf) {
+		panic(fmt.Sprintf("mpi: Scan buffer sizes differ: %d vs %d", len(buf), len(out)))
+	}
+	me, n := p.Rank(), p.Size()
+	copy(out, buf)
+	if me > 0 {
+		prev := make([]float64, len(buf))
+		p.Recv(prev, me-1, CollTag(seq, 0))
+		for i := range out {
+			out[i] = op(prev[i], buf[i])
+		}
+	}
+	if me < n-1 {
+		p.Send(me+1, CollTag(seq, 0), out)
+	}
+}
+
+// Exscan computes the exclusive prefix reduction: rank r receives
+// op(buf_0, ..., buf_{r-1}); rank 0's out is left untouched (MPI
+// semantics: undefined on rank 0, we preserve the input of out).
+func Exscan(p PointToPoint, buf, out []float64, op Op, seq int) {
+	if len(out) != len(buf) {
+		panic(fmt.Sprintf("mpi: Exscan buffer sizes differ: %d vs %d", len(buf), len(out)))
+	}
+	me, n := p.Rank(), p.Size()
+	// The running inclusive prefix travels the chain; each rank keeps
+	// what it *receives* (the exclusive prefix) and forwards the fold.
+	inclusive := make([]float64, len(buf))
+	copy(inclusive, buf)
+	if me > 0 {
+		prev := make([]float64, len(buf))
+		p.Recv(prev, me-1, CollTag(seq, 0))
+		copy(out, prev)
+		for i := range inclusive {
+			inclusive[i] = op(prev[i], buf[i])
+		}
+	}
+	if me < n-1 {
+		p.Send(me+1, CollTag(seq, 0), inclusive)
+	}
+}
+
+// Sendrecv is the *Proc convenience form of the free function.
+func (p *Proc) Sendrecv(dst, sendTag int, data []float64, src, recvTag int, buf []float64) {
+	Sendrecv(p, dst, sendTag, data, src, recvTag, buf)
+}
+
+// Scatter distributes root's blocks across ranks.
+func (p *Proc) Scatter(in, out []float64, root int) { Scatter(p, in, out, root, p.nextSeq()) }
+
+// Scan computes the inclusive prefix reduction.
+func (p *Proc) Scan(buf, out []float64, op Op) { Scan(p, buf, out, op, p.nextSeq()) }
+
+// Exscan computes the exclusive prefix reduction.
+func (p *Proc) Exscan(buf, out []float64, op Op) { Exscan(p, buf, out, op, p.nextSeq()) }

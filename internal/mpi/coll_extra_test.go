@@ -1,0 +1,129 @@
+package mpi
+
+import (
+	"testing"
+)
+
+func TestSendrecvExchange(t *testing.T) {
+	err := Run(2, func(p *Proc) {
+		me := p.Rank()
+		peer := 1 - me
+		out := []float64{float64(me * 10)}
+		in := make([]float64, 1)
+		p.Sendrecv(peer, 5, out, peer, 5, in)
+		if in[0] != float64(peer*10) {
+			t.Errorf("rank %d got %v", me, in[0])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvRing(t *testing.T) {
+	// Every rank forwards to the right and receives from the left; with
+	// symmetric call order this deadlocks on synchronous transports but
+	// must pass here.
+	n := 5
+	err := Run(n, func(p *Proc) {
+		me := p.Rank()
+		out := []float64{float64(me)}
+		in := make([]float64, 1)
+		p.Sendrecv((me+1)%n, 0, out, (me-1+n)%n, 0, in)
+		if in[0] != float64((me-1+n)%n) {
+			t.Errorf("rank %d got %v", me, in[0])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		for root := 0; root < n; root += 1 + n/2 {
+			err := Run(n, func(p *Proc) {
+				var in []float64
+				if p.Rank() == root {
+					in = make([]float64, n*2)
+					for i := range in {
+						in[i] = float64(i)
+					}
+				}
+				out := make([]float64, 2)
+				p.Scatter(in, out, root)
+				if out[0] != float64(p.Rank()*2) || out[1] != float64(p.Rank()*2+1) {
+					t.Errorf("n=%d root=%d rank=%d: out=%v", n, root, p.Rank(), out)
+				}
+			})
+			if err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+		}
+	}
+}
+
+func TestScatterSizeMismatchPanics(t *testing.T) {
+	// Single rank so no peer can be left blocked by the failing root.
+	err := Run(1, func(p *Proc) {
+		out := make([]float64, 2)
+		p.Scatter([]float64{1, 2, 3}, out, 0) // want 1*2 elements
+	})
+	if err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestScanInclusive(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7} {
+		err := Run(n, func(p *Proc) {
+			in := []float64{float64(p.Rank() + 1)}
+			out := make([]float64, 1)
+			p.Scan(in, out, OpSum)
+			want := float64((p.Rank() + 1) * (p.Rank() + 2) / 2)
+			if out[0] != want {
+				t.Errorf("n=%d rank=%d: scan=%v, want %v", n, p.Rank(), out[0], want)
+			}
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestExscanExclusive(t *testing.T) {
+	err := Run(4, func(p *Proc) {
+		in := []float64{float64(p.Rank() + 1)}
+		out := []float64{-1} // sentinel: rank 0 keeps it
+		p.Exscan(in, out, OpSum)
+		if p.Rank() == 0 {
+			if out[0] != -1 {
+				t.Errorf("rank 0 out overwritten: %v", out[0])
+			}
+			return
+		}
+		want := float64(p.Rank() * (p.Rank() + 1) / 2)
+		if out[0] != want {
+			t.Errorf("rank %d: exscan=%v, want %v", p.Rank(), out[0], want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanMaxOperator(t *testing.T) {
+	err := Run(5, func(p *Proc) {
+		vals := []float64{3, 1, 4, 1, 5}
+		in := []float64{vals[p.Rank()]}
+		out := make([]float64, 1)
+		p.Scan(in, out, OpMax)
+		want := []float64{3, 3, 4, 4, 5}[p.Rank()]
+		if out[0] != want {
+			t.Errorf("rank %d: %v, want %v", p.Rank(), out[0], want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package network
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Platform presets and JSON persistence: Dimemas reads its platform from a
+// configuration file; this file provides the equivalent. The presets cover
+// the networks the paper's introduction discusses — the Myrinet testbed and
+// the InfiniBand QDR generation whose cost motivates the study — plus a
+// commodity Ethernet point for contrast.
+
+// Preset returns a named platform configuration. Known names:
+//
+//	marenostrum   the paper's testbed: 250 MB/s, 8 us (default elsewhere)
+//	ib-qdr        InfiniBand QDR: 8 Gb/s effective per link = 1000 MB/s,
+//	              1.3 us MPI latency (the network the intro prices out)
+//	ib-qdr-4x     four aggregated QDR links (32 Gb/s = 4000 MB/s)
+//	gige          commodity gigabit Ethernet: 125 MB/s, 50 us
+//	ideal         zero latency, infinite bandwidth, no contention
+func Preset(name string, processors int) (Config, error) {
+	base := Testbed(processors)
+	switch name {
+	case "marenostrum":
+		return base, nil
+	case "ib-qdr":
+		base.BandwidthMBps = 1000
+		base.LatencySec = 1.3e-6
+		return base, nil
+	case "ib-qdr-4x":
+		base.BandwidthMBps = 4000
+		base.LatencySec = 1.3e-6
+		return base, nil
+	case "gige":
+		base.BandwidthMBps = 125
+		base.LatencySec = 50e-6
+		return base, nil
+	case "ideal":
+		base.BandwidthMBps = math.Inf(1)
+		base.LatencySec = 0
+		base.InPorts = 0
+		base.OutPorts = 0
+		base.Buses = 0
+		return base, nil
+	default:
+		return Config{}, fmt.Errorf("network: unknown preset %q (known: %v)", name, PresetNames())
+	}
+}
+
+// PresetNames lists the available presets, sorted.
+func PresetNames() []string {
+	names := []string{"marenostrum", "ib-qdr", "ib-qdr-4x", "gige", "ideal"}
+	sort.Strings(names)
+	return names
+}
+
+// configJSON mirrors Config for serialization; infinite bandwidth is
+// encoded as the string "inf" since JSON has no Inf literal.
+type configJSON struct {
+	Processors          int     `json:"processors"`
+	LatencySec          float64 `json:"latency_sec"`
+	BandwidthMBps       any     `json:"bandwidth_mbps"`
+	Buses               int     `json:"buses"`
+	InPorts             int     `json:"in_ports"`
+	OutPorts            int     `json:"out_ports"`
+	MIPS                float64 `json:"mips"`
+	EagerThresholdBytes int64   `json:"eager_threshold_bytes"`
+	RelativeSpeed       float64 `json:"relative_speed"`
+}
+
+// WriteJSON serializes the configuration.
+func (c Config) WriteJSON(w io.Writer) error {
+	j := configJSON{
+		Processors:          c.Processors,
+		LatencySec:          c.LatencySec,
+		Buses:               c.Buses,
+		InPorts:             c.InPorts,
+		OutPorts:            c.OutPorts,
+		MIPS:                c.MIPS,
+		EagerThresholdBytes: c.EagerThresholdBytes,
+		RelativeSpeed:       c.RelativeSpeed,
+	}
+	if math.IsInf(c.BandwidthMBps, 1) {
+		j.BandwidthMBps = "inf"
+	} else {
+		j.BandwidthMBps = c.BandwidthMBps
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(j)
+}
+
+// ReadJSON parses a configuration written by WriteJSON and validates it.
+func ReadJSON(r io.Reader) (Config, error) {
+	var j configJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
+		return Config{}, fmt.Errorf("network: parse config: %w", err)
+	}
+	c := Config{
+		Processors:          j.Processors,
+		LatencySec:          j.LatencySec,
+		Buses:               j.Buses,
+		InPorts:             j.InPorts,
+		OutPorts:            j.OutPorts,
+		MIPS:                j.MIPS,
+		EagerThresholdBytes: j.EagerThresholdBytes,
+		RelativeSpeed:       j.RelativeSpeed,
+	}
+	switch bw := j.BandwidthMBps.(type) {
+	case string:
+		if bw != "inf" {
+			return Config{}, fmt.Errorf("network: bad bandwidth %q", bw)
+		}
+		c.BandwidthMBps = math.Inf(1)
+	case float64:
+		c.BandwidthMBps = bw
+	case nil:
+		return Config{}, fmt.Errorf("network: missing bandwidth")
+	default:
+		return Config{}, fmt.Errorf("network: bad bandwidth type %T", bw)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}

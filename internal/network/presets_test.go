@@ -1,0 +1,95 @@
+package network
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPresetsAllValid(t *testing.T) {
+	for _, name := range PresetNames() {
+		cfg, err := Preset(name, 16)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", name, err)
+		}
+		if cfg.Processors != 16 {
+			t.Fatalf("%s: processors=%d", name, cfg.Processors)
+		}
+	}
+}
+
+func TestPresetUnknown(t *testing.T) {
+	if _, err := Preset("quantum-entangled", 4); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestPresetOrdering(t *testing.T) {
+	mn, _ := Preset("marenostrum", 2)
+	qdr, _ := Preset("ib-qdr", 2)
+	qdr4, _ := Preset("ib-qdr-4x", 2)
+	ge, _ := Preset("gige", 2)
+	if !(qdr4.BandwidthMBps > qdr.BandwidthMBps && qdr.BandwidthMBps > mn.BandwidthMBps && mn.BandwidthMBps > ge.BandwidthMBps) {
+		t.Fatal("preset bandwidth ordering broken")
+	}
+	if qdr.LatencySec >= mn.LatencySec {
+		t.Fatal("InfiniBand latency should beat Myrinet-era latency")
+	}
+	ideal, _ := Preset("ideal", 2)
+	if !math.IsInf(ideal.BandwidthMBps, 1) || ideal.LatencySec != 0 {
+		t.Fatalf("ideal preset: %+v", ideal)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := TestbedFor("cg", 64)
+	var sb strings.Builder
+	if err := orig.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != orig {
+		t.Fatalf("round trip: got %+v want %+v", got, orig)
+	}
+}
+
+func TestJSONRoundTripInfiniteBandwidth(t *testing.T) {
+	orig := Testbed(4).InfiniteBandwidth()
+	var sb strings.Builder
+	if err := orig.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"inf"`) {
+		t.Fatalf("infinite bandwidth not encoded as string:\n%s", sb.String())
+	}
+	got, err := ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got.BandwidthMBps, 1) {
+		t.Fatalf("bandwidth lost: %v", got.BandwidthMBps)
+	}
+}
+
+func TestReadJSONRejectsBadInput(t *testing.T) {
+	cases := []string{
+		``,
+		`{`,
+		`{"bandwidth_mbps": "fast"}`,
+		`{"processors": 2, "latency_sec": 0, "mips": 100, "relative_speed": 1}`, // missing bandwidth
+		`{"processors": 2, "latency_sec": 0, "bandwidth_mbps": 100, "mips": 0, "relative_speed": 1}`,
+		`{"processors": 2, "bandwidth_mbps": 100, "mips": 100, "relative_speed": 1, "unknown_field": 3}`,
+		`{"processors": 2, "bandwidth_mbps": true, "mips": 100, "relative_speed": 1}`,
+	}
+	for i, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %s", i, in)
+		}
+	}
+}

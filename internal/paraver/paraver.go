@@ -1,0 +1,222 @@
+// Package paraver is the visualization back end of the framework, standing
+// in for the Paraver tool: it renders the simulator's reconstructed time
+// behaviour as per-rank state timelines (ASCII), writes Paraver-style .prv
+// record files, and computes state profiles.
+//
+// The qualitative comparison of Figure 4 — the non-overlapped versus the
+// overlapped execution of NAS-CG — is produced by RenderComparison, which
+// places both timelines on a common time scale so the shortened Wait
+// phases and the advanced transfers are directly visible.
+package paraver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Glyphs used in ASCII timelines, one per simulator state.
+const (
+	GlyphCompute = '#'
+	GlyphWait    = 'w'
+	GlyphSend    = 's'
+	GlyphIdle    = '.'
+)
+
+func glyphFor(s sim.State) byte {
+	switch s {
+	case sim.StateCompute:
+		return GlyphCompute
+	case sim.StateSendBlocked:
+		return GlyphSend
+	case sim.StateWaitRecv:
+		return GlyphWait
+	default:
+		return '?'
+	}
+}
+
+// Render draws the per-rank state timeline of one result, width columns
+// wide, spanning [0, res.FinishSec].
+func Render(res *sim.Result, name string, width int) string {
+	return renderScaled(res, name, width, res.FinishSec)
+}
+
+// renderScaled draws the timeline against an externally fixed horizon so
+// two runs can share a time scale.
+func renderScaled(res *sim.Result, name string, width int, horizon float64) string {
+	if width < 10 {
+		width = 10
+	}
+	if horizon <= 0 {
+		horizon = 1
+	}
+	nRanks := len(res.Ranks)
+	rows := make([][]byte, nRanks)
+	for r := range rows {
+		rows[r] = []byte(strings.Repeat(string(GlyphIdle), width))
+	}
+	colOf := func(t float64) int {
+		c := int(t / horizon * float64(width))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	for _, iv := range res.Intervals {
+		g := glyphFor(iv.State)
+		c0, c1 := colOf(iv.Start), colOf(iv.End)
+		for c := c0; c <= c1; c++ {
+			// Waits and sends win over compute within one cell so
+			// blocking is never hidden by coarse sampling.
+			if rows[iv.Rank][c] == GlyphIdle || rows[iv.Rank][c] == GlyphCompute {
+				rows[iv.Rank][c] = g
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (%d ranks, %.6f s, '%c'=compute '%c'=wait '%c'=send-blocked)\n",
+		name, nRanks, res.FinishSec, GlyphCompute, GlyphWait, GlyphSend)
+	for r, row := range rows {
+		fmt.Fprintf(&b, "P%-3d |%s|\n", r, row)
+	}
+	return b.String()
+}
+
+// RenderComparison draws two results on a common time scale (the longer of
+// the two), the Figure 4 view: the non-overlapped run on top, the
+// overlapped run below, plus the relative improvement.
+func RenderComparison(a, b *sim.Result, nameA, nameB string, width int) string {
+	horizon := math.Max(a.FinishSec, b.FinishSec)
+	var sb strings.Builder
+	sb.WriteString(renderScaled(a, nameA, width, horizon))
+	sb.WriteString(renderScaled(b, nameB, width, horizon))
+	if a.FinishSec > 0 {
+		fmt.Fprintf(&sb, "improvement of %q over %q: %.2f%%\n",
+			nameB, nameA, 100*(a.FinishSec-b.FinishSec)/a.FinishSec)
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Profiles
+
+// Profile aggregates per-state time shares, the quantitative counterpart
+// of the timeline view.
+type Profile struct {
+	// Per-rank seconds in each state.
+	ComputeSec, WaitSec, SendSec []float64
+	// Shares of the total rank-seconds (0..1).
+	ComputeShare, WaitShare, SendShare, IdleShare float64
+	FinishSec                                     float64
+}
+
+// ProfileOf computes the state profile of one result.
+func ProfileOf(res *sim.Result) Profile {
+	n := len(res.Ranks)
+	p := Profile{
+		ComputeSec: make([]float64, n),
+		WaitSec:    make([]float64, n),
+		SendSec:    make([]float64, n),
+		FinishSec:  res.FinishSec,
+	}
+	var comp, wait, send float64
+	for r, st := range res.Ranks {
+		p.ComputeSec[r] = st.ComputeSec
+		p.WaitSec[r] = st.WaitSec
+		p.SendSec[r] = st.SendBlockedSec
+		comp += st.ComputeSec
+		wait += st.WaitSec
+		send += st.SendBlockedSec
+	}
+	total := res.FinishSec * float64(n)
+	if total > 0 {
+		p.ComputeShare = comp / total
+		p.WaitShare = wait / total
+		p.SendShare = send / total
+		p.IdleShare = 1 - p.ComputeShare - p.WaitShare - p.SendShare
+		if p.IdleShare < 0 {
+			p.IdleShare = 0
+		}
+	}
+	return p
+}
+
+// Format renders the profile as a small table.
+func (p Profile) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan: %.6f s\n", p.FinishSec)
+	fmt.Fprintf(&b, "%-10s %8s\n", "state", "share")
+	fmt.Fprintf(&b, "%-10s %7.2f%%\n", "compute", 100*p.ComputeShare)
+	fmt.Fprintf(&b, "%-10s %7.2f%%\n", "wait", 100*p.WaitShare)
+	fmt.Fprintf(&b, "%-10s %7.2f%%\n", "send", 100*p.SendShare)
+	fmt.Fprintf(&b, "%-10s %7.2f%%\n", "idle", 100*p.IdleShare)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// PRV output
+
+// WritePRV emits the result as a Paraver-style record file. The dialect is
+// a documented simplification of the Paraver trace format:
+//
+//	#PRVGO <name> <ranks> <duration_ns>
+//	1:<rank>:<begin_ns>:<end_ns>:<state>     state record (1=compute, 2=wait, 3=send)
+//	3:<src>:<send_ns>:<dst>:<recv_ns>:<bytes>:<tag>:<chunk>   comm record
+//
+// Times are integer nanoseconds. Records appear sorted by rank then time
+// (states) followed by all communications in send order, which is the
+// layout Paraver filters expect.
+func WritePRV(w io.Writer, res *sim.Result, name string) error {
+	bw := bufio.NewWriter(w)
+	ns := func(t float64) int64 { return int64(math.Round(t * 1e9)) }
+	fmt.Fprintf(bw, "#PRVGO %s %d %d\n", strings.ReplaceAll(name, " ", "_"), len(res.Ranks), ns(res.FinishSec))
+	stateCode := func(s sim.State) int {
+		switch s {
+		case sim.StateCompute:
+			return 1
+		case sim.StateWaitRecv:
+			return 2
+		case sim.StateSendBlocked:
+			return 3
+		default:
+			return 0
+		}
+	}
+	for _, iv := range res.Intervals {
+		fmt.Fprintf(bw, "1:%d:%d:%d:%d\n", iv.Rank, ns(iv.Start), ns(iv.End), stateCode(iv.State))
+	}
+	for _, c := range res.Comms {
+		fmt.Fprintf(bw, "3:%d:%d:%d:%d:%d:%d:%d\n",
+			c.Src, ns(c.SendT), c.Dst, ns(c.MatchT), c.Bytes, c.Tag, c.Chunk)
+	}
+	return bw.Flush()
+}
+
+// CommLines summarizes the communication records as human-readable arrows,
+// useful to inspect how far sends were advanced (the "longer
+// synchronization lines" observation on Figure 4). Limit bounds the output;
+// nonpositive means all.
+func CommLines(res *sim.Result, limit int) string {
+	var b strings.Builder
+	n := len(res.Comms)
+	if limit > 0 && n > limit {
+		n = limit
+	}
+	for i := 0; i < n; i++ {
+		c := res.Comms[i]
+		fmt.Fprintf(&b, "P%d --(%dB tag %d chunk %d)--> P%d   send %.6fs arrive %.6fs match %.6fs (line %.6fs)\n",
+			c.Src, c.Bytes, c.Tag, c.Chunk, c.Dst, c.SendT, c.ArriveT, c.MatchT, c.MatchT-c.SendT)
+	}
+	if n < len(res.Comms) {
+		fmt.Fprintf(&b, "... %d more\n", len(res.Comms)-n)
+	}
+	return b.String()
+}

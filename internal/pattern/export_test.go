@@ -1,0 +1,96 @@
+package pattern
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/tracer"
+)
+
+// oneElementApp exchanges only single-element reductions (unchunkable).
+func oneElementApp() func(p *tracer.Proc) {
+	return func(p *tracer.Proc) {
+		in := p.NewArray("dot", 1)
+		out := p.NewArray("res", 1)
+		for it := 0; it < 3; it++ {
+			p.Compute(1000)
+			in.Store(0, 1)
+			p.AllreduceTracked(in, out, mpi.OpSum)
+			_ = out.Load(0)
+		}
+	}
+}
+
+func TestWriteTableIICSV(t *testing.T) {
+	run := mustTrace(t, "seqapp", 2, sequentialProducer(50, 3))
+	an := Analyze(run)
+	var sb strings.Builder
+	if err := WriteTableIICSV(&sb, []*Analysis{an}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + production + consumption
+		t.Fatalf("lines=%d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "seqapp,production,") {
+		t.Fatalf("production row: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "seqapp,consumption,") {
+		t.Fatalf("consumption row: %q", lines[2])
+	}
+	// Consumption rows end with an empty "whole" column.
+	if !strings.HasSuffix(lines[2], ",") {
+		t.Fatalf("consumption whole column not empty: %q", lines[2])
+	}
+}
+
+func TestWriteTableIICSVUnchunkable(t *testing.T) {
+	// Single-element app: NaN columns must be empty fields.
+	run := mustTrace(t, "one", 2, oneElementApp())
+	var sb strings.Builder
+	if err := WriteTableIICSV(&sb, []*Analysis{Analyze(run)}); err != nil {
+		t.Fatal(err)
+	}
+	prod := strings.Split(strings.TrimSpace(sb.String()), "\n")[1]
+	fields := strings.Split(prod, ",")
+	if len(fields) != 6 {
+		t.Fatalf("fields: %v", fields)
+	}
+	if fields[3] != "" || fields[4] != "" || fields[5] != "" {
+		t.Fatalf("NaN columns not empty: %v", fields)
+	}
+}
+
+func TestWriteTableIIMarkdown(t *testing.T) {
+	run := mustTrace(t, "seqapp", 2, sequentialProducer(30, 3))
+	var sb strings.Builder
+	if err := WriteTableIIMarkdown(&sb, []*Analysis{Analyze(run)}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table II(a)", "Table II(b)", "| ideal |", "| seqapp |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPerBufferRows(t *testing.T) {
+	run := mustTrace(t, "seqapp", 2, sequentialProducer(40, 3))
+	rows := Analyze(run).PerBufferRows()
+	if len(rows) != 2 { // one buffer, both sides
+		t.Fatalf("rows=%d", len(rows))
+	}
+	if rows[0].Side != Production || rows[1].Side != Consumption {
+		t.Fatalf("side order: %+v", rows)
+	}
+	if rows[0].Buffer != "seq" || !rows[0].Chunkable {
+		t.Fatalf("row metadata: %+v", rows[0])
+	}
+	if !math.IsNaN(rows[1].Cols[3]) {
+		t.Fatal("consumption whole column must be NaN")
+	}
+}

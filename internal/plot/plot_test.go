@@ -1,0 +1,91 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteScatterSVG(t *testing.T) {
+	pts := []ScatterPoint{{0, 0}, {0.5, 10}, {1, 20}}
+	var sb strings.Builder
+	if err := WriteScatterSVG(&sb, "Fig 5a <test>", "time", "element", pts); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(out, "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	if strings.Count(out, "<circle") != 3 {
+		t.Fatalf("circles=%d, want 3", strings.Count(out, "<circle"))
+	}
+	if !strings.Contains(out, "Fig 5a &lt;test&gt;") {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestWriteBarsSVG(t *testing.T) {
+	groups := []BarGroup{
+		{Label: "cg", Values: []float64{1.18, 1.17}},
+		{Label: "sweep3d", Values: []float64{1.05, math.Inf(1)}},
+	}
+	var sb strings.Builder
+	if err := WriteBarsSVG(&sb, "Fig 6a", "speedup", []string{"real", "ideal"}, groups); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// 3 solid bars + 1 hatched inf bar + 2 legend swatches.
+	if got := strings.Count(out, "<rect"); got < 6 {
+		t.Fatalf("rects=%d, want >=6", got)
+	}
+	if !strings.Contains(out, "stroke-dasharray") {
+		t.Fatal("infinite value not drawn hatched")
+	}
+	if !strings.Contains(out, ">inf<") {
+		t.Fatal("infinite value not labelled")
+	}
+	for _, want := range []string{"cg", "sweep3d", "real", "ideal"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestWriteLinesSVG(t *testing.T) {
+	lines := []Line{
+		{Label: "base", X: []float64{10, 100, 1000}, Y: []float64{3, 2, 1}},
+		{Label: "overlap", X: []float64{10, 100, 1000}, Y: []float64{2, 1.5, 1}},
+	}
+	var sb strings.Builder
+	if err := WriteLinesSVG(&sb, "sweep", "MB/s", "finish", lines); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "<path") != 2 {
+		t.Fatalf("paths=%d, want 2", strings.Count(out, "<path"))
+	}
+	if !strings.Contains(out, "base") || !strings.Contains(out, "overlap") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestWriteLinesSVGEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteLinesSVG(&sb, "empty", "x", "y", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(sb.String(), "</svg>") {
+		t.Fatal("empty chart must still be a valid document")
+	}
+}
+
+func TestScatterDegenerateRanges(t *testing.T) {
+	// Points collapsing to one value must not divide by zero.
+	var sb strings.Builder
+	if err := WriteScatterSVG(&sb, "t", "x", "y", []ScatterPoint{{0.5, 0}, {0.5, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "NaN") {
+		t.Fatal("NaN leaked into SVG coordinates")
+	}
+}

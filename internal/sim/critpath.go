@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Critical-path extraction: starting from the rank that finishes last, walk
+// the reconstructed timeline backwards; whenever the walk reaches a receive
+// wait, jump through the transfer that satisfied it to the sending rank.
+// The result attributes the makespan to computation, transfer flight time,
+// resource queuing, and blocked-send time along one dominant dependency
+// chain — the quantitative version of the paper's "an implementer can
+// easily identify bottlenecks in the overlapping technique and try to fix
+// them" use of the Paraver views.
+
+// StepKind classifies one critical-path step.
+type StepKind uint8
+
+// Step kinds.
+const (
+	// StepCompute: time spent computing on the step's rank.
+	StepCompute StepKind = iota
+	// StepSendBlocked: the rank was blocked in a (rendezvous) send.
+	StepSendBlocked
+	// StepTransfer: the path crosses a message: flight plus resource
+	// queuing between the send record and the receive completion.
+	StepTransfer
+	// StepIdle: unattributed time (gaps between intervals).
+	StepIdle
+)
+
+// String names the step kind.
+func (k StepKind) String() string {
+	switch k {
+	case StepCompute:
+		return "compute"
+	case StepSendBlocked:
+		return "send-blocked"
+	case StepTransfer:
+		return "transfer"
+	case StepIdle:
+		return "idle"
+	default:
+		return fmt.Sprintf("step(%d)", uint8(k))
+	}
+}
+
+// PathStep is one segment of the critical path, in chronological order.
+type PathStep struct {
+	Kind       StepKind
+	Rank       int // rank the time is spent on (destination for transfers)
+	Start, End float64
+	// Comm is set for StepTransfer: the message the path crosses.
+	Comm *Comm
+}
+
+// Duration returns End-Start.
+func (s PathStep) Duration() float64 { return s.End - s.Start }
+
+// CriticalPath is the dominant dependency chain of one replay.
+type CriticalPath struct {
+	// Steps in chronological order; the last step ends at the makespan.
+	Steps []PathStep
+	// Attribution of the makespan to step kinds, in seconds.
+	ComputeSec, SendBlockedSec, TransferSec, IdleSec float64
+	// Hops is the number of rank-to-rank transitions.
+	Hops int
+	// FinishSec echoes the replay makespan.
+	FinishSec float64
+}
+
+const cpEps = 1e-12
+
+// CriticalPathOf extracts the critical path from a replay result.
+func CriticalPathOf(res *Result) *CriticalPath {
+	cp := &CriticalPath{FinishSec: res.FinishSec}
+	if len(res.Ranks) == 0 {
+		return cp
+	}
+	// Index intervals per rank (they are already sorted by rank, start).
+	perRank := make([][]Interval, len(res.Ranks))
+	for _, iv := range res.Intervals {
+		perRank[iv.Rank] = append(perRank[iv.Rank], iv)
+	}
+	// Index comms per destination, sorted by match time.
+	commsByDst := make([][]int, len(res.Ranks))
+	for i := range res.Comms {
+		c := &res.Comms[i]
+		if c.Dst >= 0 && c.Dst < len(commsByDst) && !math.IsNaN(c.MatchT) {
+			commsByDst[c.Dst] = append(commsByDst[c.Dst], i)
+		}
+	}
+	for d := range commsByDst {
+		idx := commsByDst[d]
+		sort.Slice(idx, func(a, b int) bool { return res.Comms[idx[a]].MatchT < res.Comms[idx[b]].MatchT })
+	}
+
+	rank := 0
+	for r := range res.Ranks {
+		if res.Ranks[r].FinishSec > res.Ranks[rank].FinishSec {
+			rank = r
+		}
+	}
+	t := res.Ranks[rank].FinishSec
+	var steps []PathStep // built backwards
+	guard := 0
+	maxSteps := 4 * (len(res.Intervals) + len(res.Comms) + 1)
+	for t > cpEps && guard < maxSteps {
+		guard++
+		iv, ok := lastIntervalBefore(perRank[rank], t)
+		if !ok {
+			steps = append(steps, PathStep{Kind: StepIdle, Rank: rank, Start: 0, End: t})
+			break
+		}
+		if iv.End < t-cpEps {
+			steps = append(steps, PathStep{Kind: StepIdle, Rank: rank, Start: iv.End, End: t})
+			t = iv.End
+			continue
+		}
+		switch iv.State {
+		case StateCompute:
+			steps = append(steps, PathStep{Kind: StepCompute, Rank: rank, Start: iv.Start, End: t})
+			t = iv.Start
+		case StateSendBlocked:
+			steps = append(steps, PathStep{Kind: StepSendBlocked, Rank: rank, Start: iv.Start, End: t})
+			t = iv.Start
+		case StateWaitRecv:
+			c := commEndingAt(res, commsByDst[rank], iv.End)
+			if c == nil || math.IsNaN(c.SendT) || c.SendT >= iv.End-cpEps || c.SendT < 0 {
+				// No resolvable transfer (or a degenerate one): charge
+				// the wait as idle on this rank and keep walking.
+				steps = append(steps, PathStep{Kind: StepIdle, Rank: rank, Start: iv.Start, End: t})
+				t = iv.Start
+				continue
+			}
+			steps = append(steps, PathStep{Kind: StepTransfer, Rank: rank, Start: c.SendT, End: t, Comm: c})
+			rank = c.Src
+			t = c.SendT
+			cp.Hops++
+		}
+	}
+	// Reverse into chronological order and accumulate the attribution.
+	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+		steps[i], steps[j] = steps[j], steps[i]
+	}
+	cp.Steps = steps
+	for _, s := range steps {
+		switch s.Kind {
+		case StepCompute:
+			cp.ComputeSec += s.Duration()
+		case StepSendBlocked:
+			cp.SendBlockedSec += s.Duration()
+		case StepTransfer:
+			cp.TransferSec += s.Duration()
+		case StepIdle:
+			cp.IdleSec += s.Duration()
+		}
+	}
+	return cp
+}
+
+// lastIntervalBefore returns the latest interval starting before t.
+func lastIntervalBefore(ivs []Interval, t float64) (Interval, bool) {
+	lo, hi := 0, len(ivs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ivs[mid].Start < t-cpEps {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return Interval{}, false
+	}
+	return ivs[lo-1], true
+}
+
+// commEndingAt finds the transfer whose match completed the wait ending at
+// time t (the latest match within a small window of t).
+func commEndingAt(res *Result, idx []int, t float64) *Comm {
+	lo, hi := 0, len(idx)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if res.Comms[idx[mid]].MatchT <= t+cpEps {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return nil
+	}
+	c := &res.Comms[idx[lo-1]]
+	if c.MatchT < t-1e-9 && c.MatchT < t*(1-1e-9) {
+		return nil // the wait did not end on a match (should not happen)
+	}
+	return c
+}
+
+// Format renders the path attribution and its longest steps.
+func (cp *CriticalPath) Format(maxSteps int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path: %.6f s over %d steps, %d rank hops\n", cp.FinishSec, len(cp.Steps), cp.Hops)
+	total := cp.FinishSec
+	if total <= 0 {
+		total = 1
+	}
+	fmt.Fprintf(&b, "  compute      %10.6f s (%5.1f%%)\n", cp.ComputeSec, 100*cp.ComputeSec/total)
+	fmt.Fprintf(&b, "  transfer     %10.6f s (%5.1f%%)\n", cp.TransferSec, 100*cp.TransferSec/total)
+	fmt.Fprintf(&b, "  send-blocked %10.6f s (%5.1f%%)\n", cp.SendBlockedSec, 100*cp.SendBlockedSec/total)
+	fmt.Fprintf(&b, "  idle         %10.6f s (%5.1f%%)\n", cp.IdleSec, 100*cp.IdleSec/total)
+	if maxSteps <= 0 || maxSteps > len(cp.Steps) {
+		maxSteps = len(cp.Steps)
+	}
+	// Show the longest steps, they are the bottlenecks.
+	order := make([]int, len(cp.Steps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return cp.Steps[order[a]].Duration() > cp.Steps[order[b]].Duration()
+	})
+	fmt.Fprintf(&b, "longest steps:\n")
+	for i := 0; i < maxSteps && i < 8; i++ {
+		s := cp.Steps[order[i]]
+		if s.Kind == StepTransfer && s.Comm != nil {
+			fmt.Fprintf(&b, "  %-12s P%d<-P%d %8d B tag %d chunk %d  %.6f s\n",
+				s.Kind, s.Rank, s.Comm.Src, s.Comm.Bytes, s.Comm.Tag, s.Comm.Chunk, s.Duration())
+		} else {
+			fmt.Fprintf(&b, "  %-12s P%-3d %.6f s\n", s.Kind, s.Rank, s.Duration())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,726 @@
+// Package sim implements the Dimemas-equivalent trace-driven simulator: an
+// offline discrete-event engine that replays per-rank trace records on a
+// configurable parallel platform (see package network) and reconstructs the
+// application's time behaviour.
+//
+// The engine honours the model described in the paper: compute bursts are
+// instruction counts scaled by a MIPS rate; point-to-point transfers cost
+// latency + size/bandwidth; a finite pool of global buses bounds the number
+// of concurrently flying messages; and per-processor input/output ports
+// bound each node's injection and drain concurrency. Matching follows MPI
+// non-overtaking order: the n-th send of a (source, tag, chunk) stream pairs
+// with the n-th receive posted for that stream.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/network"
+	"repro/internal/trace"
+)
+
+// State labels what a rank is doing during a timeline interval.
+type State uint8
+
+// Timeline states, the vocabulary of the Paraver-style views.
+const (
+	// StateCompute: the rank is executing a CPU burst.
+	StateCompute State = iota
+	// StateSendBlocked: the rank is blocked in a blocking send (resource
+	// queuing, rendezvous handshake, injection).
+	StateSendBlocked
+	// StateWaitRecv: the rank is blocked in Recv, Wait, or WaitAll.
+	StateWaitRecv
+)
+
+// String returns a short state mnemonic.
+func (s State) String() string {
+	switch s {
+	case StateCompute:
+		return "compute"
+	case StateSendBlocked:
+		return "send"
+	case StateWaitRecv:
+		return "wait"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Interval is one timeline segment of one rank.
+type Interval struct {
+	Rank       int
+	Start, End float64
+	State      State
+}
+
+// Comm describes one simulated point-to-point transfer.
+type Comm struct {
+	Src, Dst   int
+	Tag, Chunk int
+	Bytes      int64
+	MsgID      int64
+	// SendT is the virtual time the send record executed on the source.
+	SendT float64
+	// StartT is when the transfer acquired its resources and left the
+	// sender (>= SendT under contention or rendezvous).
+	StartT float64
+	// ArriveT is when the last byte reached the destination.
+	ArriveT float64
+	// MatchT is when the receiver's matching receive completed.
+	MatchT float64
+}
+
+// RankStats aggregates per-rank time accounting.
+type RankStats struct {
+	ComputeSec     float64
+	SendBlockedSec float64
+	WaitSec        float64
+	FinishSec      float64
+	BytesSent      int64
+	MsgsSent       int
+}
+
+// Result is the full output of one replay.
+type Result struct {
+	// FinishSec is the simulated makespan: the max rank finish time.
+	FinishSec float64
+	// Ranks holds per-rank accounting, indexed by rank.
+	Ranks []RankStats
+	// Intervals is the state timeline of every rank, sorted by rank then
+	// start time.
+	Intervals []Interval
+	// Comms lists every simulated transfer in send order.
+	Comms []Comm
+}
+
+// TotalWaitSec sums receive-wait time over all ranks.
+func (r *Result) TotalWaitSec() float64 {
+	var s float64
+	for i := range r.Ranks {
+		s += r.Ranks[i].WaitSec
+	}
+	return s
+}
+
+// TotalComputeSec sums compute time over all ranks.
+func (r *Result) TotalComputeSec() float64 {
+	var s float64
+	for i := range r.Ranks {
+		s += r.Ranks[i].ComputeSec
+	}
+	return s
+}
+
+// DeadlockError reports a replay that stalled before all ranks finished.
+type DeadlockError struct {
+	Trace   string
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock replaying %q: %v", e.Trace, e.Blocked)
+}
+
+// ---------------------------------------------------------------------------
+// Event queue
+
+type event struct {
+	t   float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// ---------------------------------------------------------------------------
+// Simulated-time resources
+
+// resource models a pool of identical units (buses, ports) reserved for
+// simulated-time spans. A nil resource is unlimited.
+//
+// Each unit keeps a calendar of busy intervals so that a reservation made
+// for the future (a chunk burst serialized behind a port) does not render
+// the unit's earlier idle time unusable: later requests may backfill gaps,
+// which is what the physical resource would allow.
+type resource struct {
+	units []unitCalendar
+}
+
+type busyInterval struct {
+	start, end float64
+}
+
+type unitCalendar struct {
+	busy []busyInterval // sorted by start, non-overlapping
+}
+
+func newResource(units int) *resource {
+	if units <= 0 {
+		return nil
+	}
+	return &resource{units: make([]unitCalendar, units)}
+}
+
+// earliestFit returns the earliest start >= t at which the unit can host a
+// reservation of the given duration.
+func (u *unitCalendar) earliestFit(t, hold float64) float64 {
+	// Binary search for the first busy interval ending after t.
+	lo, hi := 0, len(u.busy)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if u.busy[mid].end <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	start := t
+	for i := lo; i < len(u.busy); i++ {
+		if u.busy[i].start-start >= hold {
+			return start
+		}
+		if u.busy[i].end > start {
+			start = u.busy[i].end
+		}
+	}
+	return start
+}
+
+// earliestFit returns the unit index and earliest start >= t across the
+// pool.
+func (r *resource) earliestFit(t, hold float64) (int, float64) {
+	best, bt := 0, r.units[0].earliestFit(t, hold)
+	for i := 1; i < len(r.units); i++ {
+		if s := r.units[i].earliestFit(t, hold); s < bt {
+			best, bt = i, s
+		}
+		if bt == t {
+			break // cannot start earlier than asked
+		}
+	}
+	return best, bt
+}
+
+// commit reserves unit i for [start, start+hold). Zero-length holds are
+// no-ops.
+func (r *resource) commit(i int, start, hold float64) {
+	if hold <= 0 {
+		return
+	}
+	u := &r.units[i]
+	iv := busyInterval{start: start, end: start + hold}
+	// Insert keeping the calendar sorted; requests mostly arrive in
+	// increasing time, so scanning from the back is near O(1).
+	pos := len(u.busy)
+	for pos > 0 && u.busy[pos-1].start > iv.start {
+		pos--
+	}
+	u.busy = append(u.busy, busyInterval{})
+	copy(u.busy[pos+1:], u.busy[pos:])
+	u.busy[pos] = iv
+}
+
+// ---------------------------------------------------------------------------
+// Message matching
+
+type matchKey struct {
+	src, tag, chunk int
+}
+
+type postKind uint8
+
+const (
+	postBlocking postKind = iota
+	postNonBlocking
+)
+
+type post struct {
+	kind   postKind
+	handle int
+	t      float64
+}
+
+// stream is the per-(dst,key) non-overtaking match state. The n-th send of
+// the stream pairs with the n-th post; a pair completes as soon as both its
+// message has arrived and its receive is posted, independently of other
+// pairs.
+type stream struct {
+	arrivals []float64 // arrival time per send seq; NaN while in flight
+	commIdx  []int     // Comms index per send seq
+	posts    []post
+	matched  []bool
+	nSends   int
+	// pendingSend queues rendezvous senders waiting for their matching
+	// post, by seq.
+	pendingSend map[int]*pendingTransfer
+}
+
+type pendingTransfer struct {
+	seq      int
+	bytes    int64
+	readyT   float64 // sender reached the record at this time
+	blocking bool
+	src      int
+	commIdx  int
+}
+
+// ---------------------------------------------------------------------------
+// Rank state machine
+
+type blockReason uint8
+
+const (
+	blockNone blockReason = iota
+	blockRecv
+	blockWait
+	blockWaitAll
+	blockSendRendezvous
+	blockSendInject
+)
+
+type rankState struct {
+	rank       int
+	pc         int
+	clock      float64
+	done       bool
+	blocked    blockReason
+	blockStart float64
+	waitHandle int
+	// outstanding maps posted-but-unwaited irecv handles to their
+	// completion time (NaN while incomplete).
+	outstanding map[int]float64
+	stats       RankStats
+}
+
+// ---------------------------------------------------------------------------
+// Simulator
+
+// Simulator replays one trace on one platform. Create with New, run with
+// Run; a Simulator is single-use.
+type Simulator struct {
+	cfg network.Config
+	tr  *trace.Trace
+
+	buses    *resource
+	inPorts  []*resource
+	outPorts []*resource
+
+	ranks   []*rankState
+	streams []map[matchKey]*stream // per destination rank
+
+	eq       eventHeap
+	eseq     int64
+	now      float64
+	inFlight int // messages currently in the network (congestion model)
+	result   Result
+}
+
+// New prepares a replay of tr on the platform cfg. The trace rank count
+// must not exceed cfg.Processors.
+func New(cfg network.Config, tr *trace.Trace) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tr.NumRanks > cfg.Processors {
+		return nil, fmt.Errorf("sim: trace has %d ranks but platform has %d processors", tr.NumRanks, cfg.Processors)
+	}
+	s := &Simulator{cfg: cfg, tr: tr}
+	s.buses = newResource(cfg.Buses)
+	s.inPorts = make([]*resource, tr.NumRanks)
+	s.outPorts = make([]*resource, tr.NumRanks)
+	s.ranks = make([]*rankState, tr.NumRanks)
+	s.streams = make([]map[matchKey]*stream, tr.NumRanks)
+	for r := 0; r < tr.NumRanks; r++ {
+		s.inPorts[r] = newResource(cfg.InPorts)
+		s.outPorts[r] = newResource(cfg.OutPorts)
+		s.ranks[r] = &rankState{rank: r, outstanding: map[int]float64{}}
+		s.streams[r] = map[matchKey]*stream{}
+	}
+	s.result.Ranks = make([]RankStats, tr.NumRanks)
+	return s, nil
+}
+
+// Run builds a Simulator for (cfg, tr) and executes the replay.
+func Run(cfg network.Config, tr *trace.Trace) (*Result, error) {
+	s, err := New(cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// Run executes the replay and returns the reconstructed time behaviour.
+func (s *Simulator) Run() (*Result, error) {
+	for _, rs := range s.ranks {
+		rs := rs
+		s.schedule(0, func() { s.advance(rs) })
+	}
+	for len(s.eq) > 0 {
+		e := heap.Pop(&s.eq).(event)
+		if e.t < s.now {
+			return nil, fmt.Errorf("sim: time ran backwards: %g < %g", e.t, s.now)
+		}
+		s.now = e.t
+		e.fn()
+	}
+	var blocked []string
+	for _, rs := range s.ranks {
+		if !rs.done {
+			rec := trace.Record{}
+			if rs.pc < len(s.tr.Ranks[rs.rank].Records) {
+				rec = s.tr.Ranks[rs.rank].Records[rs.pc]
+			}
+			blocked = append(blocked, fmt.Sprintf("rank %d at record %d (%s peer=%d tag=%d chunk=%d)",
+				rs.rank, rs.pc, rec.Kind, rec.Peer, rec.Tag, rec.Chunk))
+		}
+	}
+	if blocked != nil {
+		return nil, &DeadlockError{Trace: s.tr.Name, Blocked: blocked}
+	}
+	for _, rs := range s.ranks {
+		s.result.Ranks[rs.rank] = rs.stats
+		if rs.stats.FinishSec > s.result.FinishSec {
+			s.result.FinishSec = rs.stats.FinishSec
+		}
+	}
+	sort.Slice(s.result.Intervals, func(i, j int) bool {
+		a, b := s.result.Intervals[i], s.result.Intervals[j]
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		return a.Start < b.Start
+	})
+	return &s.result, nil
+}
+
+func (s *Simulator) schedule(t float64, fn func()) {
+	s.eseq++
+	heap.Push(&s.eq, event{t: t, seq: s.eseq, fn: fn})
+}
+
+func (s *Simulator) addInterval(rank int, start, end float64, st State) {
+	if end <= start {
+		return
+	}
+	s.result.Intervals = append(s.result.Intervals, Interval{Rank: rank, Start: start, End: end, State: st})
+}
+
+func (s *Simulator) streamFor(dst int, k matchKey) *stream {
+	st, ok := s.streams[dst][k]
+	if !ok {
+		st = &stream{pendingSend: map[int]*pendingTransfer{}}
+		s.streams[dst][k] = st
+	}
+	return st
+}
+
+// advance runs the rank's record stream from its program counter until it
+// blocks, needs to let simulated time pass, or finishes.
+func (s *Simulator) advance(rs *rankState) {
+	rs.clock = s.now
+	recs := s.tr.Ranks[rs.rank].Records
+	for {
+		if rs.pc >= len(recs) {
+			rs.done = true
+			rs.stats.FinishSec = rs.clock
+			return
+		}
+		rec := recs[rs.pc]
+		switch rec.Kind {
+		case trace.KindCompute:
+			d := s.cfg.ComputeSec(rec.Instr)
+			if d <= 0 {
+				rs.pc++
+				continue
+			}
+			s.addInterval(rs.rank, rs.clock, rs.clock+d, StateCompute)
+			rs.stats.ComputeSec += d
+			rs.pc++
+			s.schedule(rs.clock+d, func() { s.advance(rs) })
+			return
+		case trace.KindSend, trace.KindISend:
+			if s.startSend(rs, rec, rec.Kind == trace.KindSend) {
+				rs.pc++
+				continue
+			}
+			return // parked: rendezvous handshake or blocking injection
+		case trace.KindRecv:
+			k := matchKey{src: rec.Peer, tag: rec.Tag, chunk: rec.Chunk}
+			st := s.streamFor(rs.rank, k)
+			seq := len(st.posts)
+			st.posts = append(st.posts, post{kind: postBlocking, t: rs.clock})
+			s.wakeRendezvous(rs.rank, k, st, seq)
+			if seq < len(st.arrivals) && !math.IsNaN(st.arrivals[seq]) {
+				s.completePair(rs.rank, k, st, seq)
+				rs.pc++
+				continue
+			}
+			rs.blocked = blockRecv
+			rs.blockStart = rs.clock
+			return
+		case trace.KindIRecv:
+			k := matchKey{src: rec.Peer, tag: rec.Tag, chunk: rec.Chunk}
+			st := s.streamFor(rs.rank, k)
+			seq := len(st.posts)
+			st.posts = append(st.posts, post{kind: postNonBlocking, handle: rec.Handle, t: rs.clock})
+			rs.outstanding[rec.Handle] = math.NaN()
+			s.wakeRendezvous(rs.rank, k, st, seq)
+			if seq < len(st.arrivals) && !math.IsNaN(st.arrivals[seq]) {
+				s.completePair(rs.rank, k, st, seq)
+			}
+			rs.pc++
+			continue
+		case trace.KindWait:
+			tc, ok := rs.outstanding[rec.Handle]
+			if !ok {
+				rs.pc++ // Validate() prevents this; defensive.
+				continue
+			}
+			if !math.IsNaN(tc) {
+				delete(rs.outstanding, rec.Handle)
+				rs.pc++
+				continue
+			}
+			rs.blocked = blockWait
+			rs.waitHandle = rec.Handle
+			rs.blockStart = rs.clock
+			return
+		case trace.KindWaitAll:
+			if s.waitAllDone(rs) {
+				rs.pc++
+				continue
+			}
+			rs.blocked = blockWaitAll
+			rs.blockStart = rs.clock
+			return
+		default:
+			rs.pc++ // unknown records are skipped
+			continue
+		}
+	}
+}
+
+func (s *Simulator) waitAllDone(rs *rankState) bool {
+	for _, tc := range rs.outstanding {
+		if math.IsNaN(tc) {
+			return false
+		}
+	}
+	for h := range rs.outstanding {
+		delete(rs.outstanding, h)
+	}
+	return true
+}
+
+// startSend initiates the transfer for a send record. It returns true when
+// the rank may continue immediately (ISend, or zero-cost injection) and
+// false when the rank parked (blocking injection or rendezvous handshake).
+func (s *Simulator) startSend(rs *rankState, rec trace.Record, blocking bool) bool {
+	k := matchKey{src: rs.rank, tag: rec.Tag, chunk: rec.Chunk}
+	st := s.streamFor(rec.Peer, k)
+	seq := st.nSends
+	st.nSends++
+	for len(st.arrivals) <= seq {
+		st.arrivals = append(st.arrivals, math.NaN())
+		st.commIdx = append(st.commIdx, -1)
+	}
+	rs.stats.MsgsSent++
+	rs.stats.BytesSent += rec.Bytes
+	commIdx := len(s.result.Comms)
+	st.commIdx[seq] = commIdx
+	s.result.Comms = append(s.result.Comms, Comm{
+		Src: rs.rank, Dst: rec.Peer, Tag: rec.Tag, Chunk: rec.Chunk,
+		Bytes: rec.Bytes, MsgID: rec.MsgID, SendT: rs.clock,
+		StartT: math.NaN(), ArriveT: math.NaN(), MatchT: math.NaN(),
+	})
+	if !s.cfg.Eager(rec.Bytes) && seq >= len(st.posts) {
+		// Rendezvous: the matching receive is not posted yet.
+		st.pendingSend[seq] = &pendingTransfer{
+			seq: seq, bytes: rec.Bytes, readyT: rs.clock,
+			blocking: blocking, src: rs.rank, commIdx: commIdx,
+		}
+		if blocking {
+			rs.blocked = blockSendRendezvous
+			rs.blockStart = rs.clock
+			return false
+		}
+		return true
+	}
+	// Eager transfers follow Dimemas's asynchronous-send default: the
+	// sender resumes immediately and the NIC performs the transfer in
+	// the background (the OS-bypass capability the paper assumes). Only
+	// rendezvous sends block the issuing rank.
+	s.launch(rs.rank, rec.Peer, k, st, seq, rec.Bytes, rs.clock, commIdx)
+	return true
+}
+
+// launch performs resource acquisition, schedules the arrival event, and
+// returns the injection-complete time on the sender.
+//
+// Ports and buses are occupied for the serialization time: latency models
+// pipeline depth (wire time plus software overhead), not channel
+// occupancy, so concurrent messages only queue on each other's
+// size/bandwidth terms. This keeps the chunked traces from paying the
+// latency once per chunk in *occupancy* (they still pay it per chunk in
+// flight time).
+func (s *Simulator) launch(src, dst int, k matchKey, st *stream, seq int, bytes int64, t float64, commIdx int) float64 {
+	ser := s.cfg.SerializationSec(bytes)
+	if s.cfg.CongestionFactor > 0 && s.cfg.Buses > 0 {
+		// Nonlinear congestion extension: transfers entering a loaded
+		// network serialize slower. inFlight is sampled at launch.
+		over := float64(s.inFlight)/float64(s.cfg.Buses) - 1
+		if over > 0 {
+			ser *= 1 + s.cfg.CongestionFactor*over
+		}
+	}
+	flight := s.cfg.LatencySec + ser
+	// Joint acquisition: find the earliest common start at which a bus,
+	// the sender's output port, and the receiver's input port are all
+	// free for the serialization window. The fixpoint loop converges
+	// because each probe only moves the candidate start forward.
+	pools := [3]*resource{s.buses, s.outPorts[src], s.inPorts[dst]}
+	var units [3]int
+	start := t
+	for iter := 0; iter < 64; iter++ {
+		moved := false
+		for i, pool := range pools {
+			if pool == nil {
+				continue
+			}
+			u, ft := pool.earliestFit(start, ser)
+			units[i] = u
+			if ft > start {
+				start = ft
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	for i, pool := range pools {
+		if pool != nil {
+			pool.commit(units[i], start, ser)
+		}
+	}
+	arrive := start + flight
+	s.result.Comms[commIdx].StartT = start
+	s.result.Comms[commIdx].ArriveT = arrive
+	s.inFlight++
+	s.schedule(arrive, func() {
+		s.inFlight--
+		st.arrivals[seq] = arrive
+		if seq < len(st.posts) {
+			s.completePair(dst, k, st, seq)
+		}
+	})
+	return start + ser
+}
+
+// wakeRendezvous starts any rendezvous transfer whose matching post just
+// appeared.
+func (s *Simulator) wakeRendezvous(dst int, k matchKey, st *stream, postSeq int) {
+	pt, ok := st.pendingSend[postSeq]
+	if !ok {
+		return
+	}
+	delete(st.pendingSend, postSeq)
+	start := pt.readyT
+	if s.now > start {
+		start = s.now
+	}
+	injectEnd := s.launch(pt.src, dst, k, st, pt.seq, pt.bytes, start, pt.commIdx)
+	if pt.blocking {
+		rs := s.ranks[pt.src]
+		s.addInterval(rs.rank, rs.blockStart, injectEnd, StateSendBlocked)
+		rs.stats.SendBlockedSec += injectEnd - rs.blockStart
+		s.schedule(injectEnd, func() {
+			rs.blocked = blockNone
+			rs.pc++
+			s.advance(rs)
+		})
+	}
+}
+
+// completePair finishes the match of pair seq of one stream: it stamps the
+// comm event, completes the receive (blocking or handle), and wakes the
+// destination rank if it was blocked on this completion.
+func (s *Simulator) completePair(dst int, k matchKey, st *stream, seq int) {
+	for len(st.matched) <= seq {
+		st.matched = append(st.matched, false)
+	}
+	if st.matched[seq] {
+		return
+	}
+	if seq >= len(st.posts) || seq >= len(st.arrivals) || math.IsNaN(st.arrivals[seq]) {
+		return
+	}
+	st.matched[seq] = true
+	p := st.posts[seq]
+	done := st.arrivals[seq]
+	if p.t > done {
+		done = p.t
+	}
+	if s.now > done {
+		done = s.now
+	}
+	if ci := st.commIdx[seq]; ci >= 0 {
+		s.result.Comms[ci].MatchT = done
+	}
+	rs := s.ranks[dst]
+	switch p.kind {
+	case postBlocking:
+		if rs.blocked == blockRecv {
+			// The rank can only be blocked on the oldest unmatched
+			// blocking post, which is this one (a rank posts at most
+			// one blocking recv at a time).
+			s.wakeFromWait(rs, done)
+		}
+	case postNonBlocking:
+		rs.outstanding[p.handle] = done
+		switch rs.blocked {
+		case blockWait:
+			if rs.waitHandle == p.handle {
+				delete(rs.outstanding, p.handle)
+				s.wakeFromWait(rs, done)
+			}
+		case blockWaitAll:
+			if s.waitAllDone(rs) {
+				s.wakeFromWait(rs, done)
+			}
+		}
+	}
+}
+
+func (s *Simulator) wakeFromWait(rs *rankState, done float64) {
+	resume := done
+	if resume < rs.blockStart {
+		resume = rs.blockStart
+	}
+	s.addInterval(rs.rank, rs.blockStart, resume, StateWaitRecv)
+	rs.stats.WaitSec += resume - rs.blockStart
+	rs.blocked = blockNone
+	rs.pc++
+	s.schedule(resume, func() { s.advance(rs) })
+}

@@ -1,0 +1,416 @@
+// Package tracer is the Valgrind-equivalent front end of the framework: it
+// instruments an application run and produces, from that single run, the
+// non-overlapped trace and the two overlapped (real-pattern and
+// ideal-pattern) traces described in the paper.
+//
+// The paper's tool executes each MPI process in a binary-translation VM,
+// wrapping every MPI call and intercepting every load and store to
+// communicated buffers; time-stamps are executed-instruction counts scaled
+// by an average MIPS rate. Our substitute asks the application to express
+// the same information directly:
+//
+//   - Proc.Compute(n) advances the rank's virtual clock by n instructions
+//     (the compute bursts Valgrind would have counted);
+//   - communicated buffers are tracker-owned Arrays whose Load and Store
+//     methods record (virtual time, element) access pairs and charge a
+//     configurable per-access instruction cost;
+//   - Proc.Send/Proc.Recv transfer whole tracked Arrays through the mpi
+//     substrate, and collectives decompose into instrumented raw
+//     point-to-point transfers.
+//
+// A Run therefore holds per-rank event logs carrying exactly the
+// information the paper's tracer extracts, and the builders in build.go
+// turn those logs into the three Dimemas-style traces.
+package tracer
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mpi"
+)
+
+// Config tunes the instrumentation and the chunking transformation.
+type Config struct {
+	// Chunks is the number of chunks each tracked message is split into
+	// in the overlapped traces (the paper uses 4). Messages with fewer
+	// elements than Chunks get one chunk per element; one-element
+	// messages are never chunked (the Alya rule).
+	Chunks int
+	// ElemBytes is the wire size of one tracked element (8 = float64).
+	ElemBytes int64
+	// LoadCost and StoreCost are the instructions charged per tracked
+	// access, modelling the work of the instruction stream around each
+	// memory operation.
+	LoadCost, StoreCost int64
+}
+
+// DefaultConfig mirrors the paper's setup: four chunks per message,
+// 8-byte elements, one instruction per tracked access.
+func DefaultConfig() Config {
+	return Config{Chunks: 4, ElemBytes: 8, LoadCost: 1, StoreCost: 1}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Chunks <= 0:
+		return fmt.Errorf("tracer: Chunks=%d, must be positive", c.Chunks)
+	case c.ElemBytes <= 0:
+		return fmt.Errorf("tracer: ElemBytes=%d, must be positive", c.ElemBytes)
+	case c.LoadCost < 0 || c.StoreCost < 0:
+		return fmt.Errorf("tracer: negative access cost (load=%d store=%d)", c.LoadCost, c.StoreCost)
+	}
+	return nil
+}
+
+// EvKind discriminates event-log entries.
+type EvKind uint8
+
+// Event kinds recorded in a rank's log.
+const (
+	// EvSend: a tracked array was sent (blocking at the MPI level).
+	EvSend EvKind = iota
+	// EvRecv: a tracked array was received.
+	EvRecv
+	// EvSendRaw / EvRecvRaw: untracked point-to-point transfers
+	// (collective internals and scalar control traffic). Never chunked.
+	EvSendRaw
+	EvRecvRaw
+	// EvStore / EvLoad: one tracked element access.
+	EvStore
+	EvLoad
+	// EvCollSend / EvCollRecv mark a tracked array passing through a
+	// collective (contribution and result, respectively). They carry no
+	// transfer themselves — the collective's raw point-to-point events do
+	// — but they delimit production/consumption intervals for the
+	// pattern analyzer (how Table II reports Alya).
+	EvCollSend
+	EvCollRecv
+	// EvISend: a tracked array was sent with a non-blocking send.
+	EvISend
+	// EvIRecvPost / EvRecvWait: a tracked non-blocking receive was
+	// posted / waited. Handle links the pair.
+	EvIRecvPost
+	EvRecvWait
+)
+
+// Event is one instrumentation record. T is the rank's virtual time, in
+// instructions, when the event occurred.
+type Event struct {
+	T     int64
+	Kind  EvKind
+	Arr   int // array id, -1 for raw transfers
+	Idx   int // element index (EvStore/EvLoad)
+	Peer  int // partner rank (comm events)
+	Tag   int
+	Elems int // element count of the transfer or marked buffer
+	// Handle pairs EvIRecvPost with its EvRecvWait (rank-local).
+	Handle int
+}
+
+// Log is the complete event stream of one rank.
+type Log struct {
+	Rank       int
+	Events     []Event
+	FinalClock int64
+	// ArrayLens maps array id to element count, for analysis.
+	ArrayLens []int
+	// ArrayNames maps array id to the name given at NewArray.
+	ArrayNames []string
+}
+
+// Run is the output of tracing one application execution.
+type Run struct {
+	Name     string
+	NumRanks int
+	Cfg      Config
+	Logs     []*Log // indexed by rank
+}
+
+// Proc is the instrumented per-rank endpoint handed to application kernels.
+type Proc struct {
+	mp       *mpi.Proc
+	cfg      Config
+	clock    int64
+	events   []Event
+	arrays   []*Array
+	seq      int // collective sequence counter
+	irecvSeq int // tracked non-blocking receive handles
+}
+
+// Trace executes app once per rank under instrumentation and returns the
+// collected run.
+func Trace(name string, ranks int, cfg Config, app func(p *Proc)) (*Run, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	run := &Run{Name: name, NumRanks: ranks, Cfg: cfg, Logs: make([]*Log, ranks)}
+	var mu sync.Mutex
+	err := mpi.Run(ranks, func(mp *mpi.Proc) {
+		p := &Proc{mp: mp, cfg: cfg}
+		app(p)
+		log := &Log{
+			Rank:       mp.Rank(),
+			Events:     p.events,
+			FinalClock: p.clock,
+			ArrayLens:  make([]int, len(p.arrays)),
+			ArrayNames: make([]string, len(p.arrays)),
+		}
+		for i, a := range p.arrays {
+			log.ArrayLens[i] = len(a.data)
+			log.ArrayNames[i] = a.name
+		}
+		mu.Lock()
+		run.Logs[mp.Rank()] = log
+		mu.Unlock()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return run, nil
+}
+
+// Rank returns the rank id.
+func (p *Proc) Rank() int { return p.mp.Rank() }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return p.mp.Size() }
+
+// Clock returns the rank's current virtual time in instructions.
+func (p *Proc) Clock() int64 { return p.clock }
+
+// Compute advances the virtual clock by n executed instructions. Negative
+// n is ignored.
+func (p *Proc) Compute(n int64) {
+	if n > 0 {
+		p.clock += n
+	}
+}
+
+func (p *Proc) record(e Event) {
+	e.T = p.clock
+	p.events = append(p.events, e)
+}
+
+// ---------------------------------------------------------------------------
+// Tracked arrays
+
+// Array is a tracked communication buffer. Every Load and Store is recorded
+// with its virtual time, exactly the information the paper's tracer
+// extracts by intercepting memory accesses.
+type Array struct {
+	p    *Proc
+	id   int
+	name string
+	data []float64
+}
+
+// NewArray allocates a tracked buffer of n elements.
+func (p *Proc) NewArray(name string, n int) *Array {
+	a := &Array{p: p, id: len(p.arrays), name: name, data: make([]float64, n)}
+	p.arrays = append(p.arrays, a)
+	return a
+}
+
+// Len returns the element count.
+func (a *Array) Len() int { return len(a.data) }
+
+// Name returns the name given at creation.
+func (a *Array) Name() string { return a.name }
+
+// Load reads element i, recording the access and charging LoadCost
+// instructions.
+func (a *Array) Load(i int) float64 {
+	a.p.clock += a.p.cfg.LoadCost
+	a.p.record(Event{Kind: EvLoad, Arr: a.id, Idx: i})
+	return a.data[i]
+}
+
+// Store writes element i, recording the access and charging StoreCost
+// instructions.
+func (a *Array) Store(i int, v float64) {
+	a.p.clock += a.p.cfg.StoreCost
+	a.p.record(Event{Kind: EvStore, Arr: a.id, Idx: i})
+	a.data[i] = v
+}
+
+// Data exposes the raw storage without instrumentation. Use it only for
+// initialization and verification; accesses through Data are invisible to
+// the tracer, like accesses outside the traced region in the paper's tool.
+func (a *Array) Data() []float64 { return a.data }
+
+// ---------------------------------------------------------------------------
+// Instrumented communication
+
+// Send transfers the whole tracked array to dst (blocking at the MPI
+// level). In the overlapped traces this message is the unit that gets
+// chunked. Tracked sends must be received by Recv into a tracked array of
+// the same length on the destination rank.
+func (p *Proc) Send(dst, tag int, a *Array) {
+	p.record(Event{Kind: EvSend, Arr: a.id, Peer: dst, Tag: tag, Elems: len(a.data)})
+	p.mp.Send(dst, tag, a.data)
+}
+
+// Recv receives a tracked array previously sent with Send.
+func (p *Proc) Recv(a *Array, src, tag int) {
+	p.record(Event{Kind: EvRecv, Arr: a.id, Peer: src, Tag: tag, Elems: len(a.data)})
+	p.mp.Recv(a.data, src, tag)
+}
+
+// Isend transfers the whole tracked array to dst without blocking, the way
+// halo-exchange codes post their sends. In the overlapped traces it is
+// chunked exactly like a blocking Send. The transport is buffered, so no
+// completion wait is needed (double buffering is assumed throughout, as in
+// the paper).
+func (p *Proc) Isend(dst, tag int, a *Array) {
+	p.record(Event{Kind: EvISend, Arr: a.id, Peer: dst, Tag: tag, Elems: len(a.data)})
+	p.mp.Send(dst, tag, a.data)
+}
+
+// RecvReq is an outstanding tracked non-blocking receive.
+type RecvReq struct {
+	p      *Proc
+	req    *mpi.Request
+	arr    *Array
+	handle int
+	waited bool
+}
+
+// Irecv posts a tracked non-blocking receive. The returned request must be
+// waited exactly once before the buffer is read or reposted.
+func (p *Proc) Irecv(a *Array, src, tag int) *RecvReq {
+	p.irecvSeq++
+	h := p.irecvSeq
+	p.record(Event{Kind: EvIRecvPost, Arr: a.id, Peer: src, Tag: tag, Elems: len(a.data), Handle: h})
+	return &RecvReq{p: p, req: p.mp.Irecv(a.data, src, tag), arr: a, handle: h}
+}
+
+// Wait blocks until the receive completed. Waiting twice is a no-op.
+func (r *RecvReq) Wait() {
+	if r.waited {
+		return
+	}
+	r.waited = true
+	r.p.record(Event{Kind: EvRecvWait, Arr: r.arr.id, Handle: r.handle})
+	r.req.Wait()
+}
+
+// SendRaw transfers an untracked buffer: traced as a plain (unchunkable)
+// message. Collectives use this path internally.
+func (p *Proc) SendRaw(dst, tag int, data []float64) {
+	p.record(Event{Kind: EvSendRaw, Arr: -1, Peer: dst, Tag: tag, Elems: len(data)})
+	p.mp.Send(dst, tag, data)
+}
+
+// RecvRaw receives an untracked buffer.
+func (p *Proc) RecvRaw(buf []float64, src, tag int) {
+	p.record(Event{Kind: EvRecvRaw, Arr: -1, Peer: src, Tag: tag, Elems: len(buf)})
+	p.mp.Recv(buf, src, tag)
+}
+
+// rawAdapter exposes the instrumented raw path as mpi.PointToPoint so the
+// mpi collectives decompose into traced transfers.
+type rawAdapter struct{ p *Proc }
+
+func (r rawAdapter) Rank() int                         { return r.p.Rank() }
+func (r rawAdapter) Size() int                         { return r.p.Size() }
+func (r rawAdapter) Send(dst, tag int, data []float64) { r.p.SendRaw(dst, tag, data) }
+func (r rawAdapter) Recv(buf []float64, src, tag int)  { r.p.RecvRaw(buf, src, tag) }
+
+var _ mpi.PointToPoint = rawAdapter{}
+
+func (p *Proc) nextSeq() int {
+	s := p.seq
+	p.seq += 2
+	return s
+}
+
+// Barrier blocks until all ranks reach it; the dissemination exchanges are
+// traced as raw transfers.
+func (p *Proc) Barrier() { mpi.Barrier(rawAdapter{p}, p.nextSeq()) }
+
+// Bcast broadcasts buf from root through instrumented transfers.
+func (p *Proc) Bcast(buf []float64, root int) { mpi.Bcast(rawAdapter{p}, buf, root, p.nextSeq()) }
+
+// Reduce reduces into out on root through instrumented transfers.
+func (p *Proc) Reduce(buf, out []float64, op mpi.Op, root int) {
+	mpi.Reduce(rawAdapter{p}, buf, out, op, root, p.nextSeq())
+}
+
+// Allreduce reduces into out on all ranks through instrumented transfers.
+func (p *Proc) Allreduce(buf, out []float64, op mpi.Op) {
+	mpi.Allreduce(rawAdapter{p}, buf, out, op, p.nextSeq())
+}
+
+// Gather gathers into out on root through instrumented transfers.
+func (p *Proc) Gather(buf, out []float64, root int) {
+	mpi.Gather(rawAdapter{p}, buf, out, root, p.nextSeq())
+}
+
+// Allgather gathers into out on all ranks through instrumented transfers.
+func (p *Proc) Allgather(buf, out []float64) { mpi.Allgather(rawAdapter{p}, buf, out, p.nextSeq()) }
+
+// Alltoall exchanges personalized blocks through instrumented transfers.
+func (p *Proc) Alltoall(buf, out []float64, m int) {
+	mpi.Alltoall(rawAdapter{p}, buf, out, m, p.nextSeq())
+}
+
+// ReduceScatter reduces and scatters through instrumented transfers.
+func (p *Proc) ReduceScatter(buf, out []float64, op mpi.Op) {
+	mpi.ReduceScatter(rawAdapter{p}, buf, out, op, p.nextSeq())
+}
+
+// AllreduceTracked performs an Allreduce whose contribution and result
+// buffers are tracked arrays. The transfer itself is raw (reduction
+// messages cannot be chunked — the Alya case), but EvCollSend/EvCollRecv
+// markers delimit the production interval of `in` and the consumption
+// interval of `out` for the pattern analyzer.
+func (p *Proc) AllreduceTracked(in, out *Array, op mpi.Op) {
+	p.record(Event{Kind: EvCollSend, Arr: in.id, Peer: -1, Elems: len(in.data)})
+	p.record(Event{Kind: EvCollRecv, Arr: out.id, Peer: -1, Elems: len(out.data)})
+	mpi.Allreduce(rawAdapter{p}, in.data, out.data, op, p.nextSeq())
+}
+
+// ---------------------------------------------------------------------------
+// Chunk geometry
+
+// ChunkCount returns how many chunks an n-element message splits into under
+// this config: never more than n, never more than cfg.Chunks, and
+// one-element messages stay whole.
+func (c Config) ChunkCount(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	if n < c.Chunks {
+		return n
+	}
+	return c.Chunks
+}
+
+// ChunkBounds returns the half-open element range [lo, hi) of chunk k out
+// of kTotal for an n-element message. Chunks differ in size by at most one
+// element.
+func ChunkBounds(n, kTotal, k int) (lo, hi int) {
+	lo = k * n / kTotal
+	hi = (k + 1) * n / kTotal
+	return lo, hi
+}
+
+// ChunkBytes returns the wire size of chunk k.
+func (c Config) ChunkBytes(n, kTotal, k int) int64 {
+	lo, hi := ChunkBounds(n, kTotal, k)
+	return int64(hi-lo) * c.ElemBytes
+}
+
+// ChunkOf returns which chunk element idx belongs to.
+func ChunkOf(n, kTotal, idx int) int {
+	// Inverse of ChunkBounds: chunk k holds [k*n/kTotal, (k+1)*n/kTotal).
+	k := (idx*kTotal + kTotal - 1) / n
+	for k > 0 && idx < k*n/kTotal {
+		k--
+	}
+	for (k+1)*n/kTotal <= idx {
+		k++
+	}
+	return k
+}
