@@ -16,6 +16,7 @@
 //	BenchmarkFig6aSpeedup              speedups, real & ideal
 //	BenchmarkFig6bBandwidthRelaxation  bandwidth relaxation searches
 //	BenchmarkFig6cEquivalentBandwidth  equivalent-bandwidth searches
+//	BenchmarkEngineParallelSweep       serial vs engine-parallel chunk sweep
 //
 // Custom metrics carry the reproduced numbers (speedup_x, pct, MB/s), so a
 // benchmark run doubles as a regression check of the paper's shapes.
@@ -23,12 +24,15 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/paraver"
@@ -371,6 +375,53 @@ func BenchmarkAblationMessageScale(b *testing.B) {
 
 // ---------------------------------------------------------------------------
 // Engine micro-benchmarks.
+
+// BenchmarkEngineParallelSweep compares the serial chunk-count sweep
+// against the same sweep fanned out across the experiment engine's worker
+// pool. The serial and parallel sub-benchmarks replay identical work — a
+// 16-point ablation of NAS-CG — so on an N-CPU machine the parallel path
+// should approach min(N, points)x the serial throughput (>=2x on 4+
+// CPUs); on one CPU the two are equivalent. The parallel results are
+// asserted byte-identical to the serial reference before measuring.
+func BenchmarkEngineParallelSweep(b *testing.B) {
+	entry, _ := apps.ByName("cg", benchRanks)
+	netCfg := network.TestbedFor("cg", benchRanks)
+	tCfg := tracer.DefaultConfig()
+	counts := []int{1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 20, 24, 28, 32}
+	ctx := context.Background()
+	eng := engine.New(0) // GOMAXPROCS workers
+
+	serialPts, err := core.ChunkSweepSerial(entry.App, benchRanks, netCfg, tCfg, counts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parallelPts, err := core.ChunkSweepWith(ctx, eng, entry.App, benchRanks, netCfg, tCfg, counts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !reflect.DeepEqual(serialPts, parallelPts) {
+		b.Fatalf("parallel sweep diverged from serial:\nserial:   %+v\nparallel: %+v", serialPts, parallelPts)
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ChunkSweepSerial(entry.App, benchRanks, netCfg, tCfg, counts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(counts)), "points")
+		b.ReportMetric(1, "workers")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ChunkSweepWith(ctx, eng, entry.App, benchRanks, netCfg, tCfg, counts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(counts)), "points")
+		b.ReportMetric(float64(eng.Workers()), "workers")
+	})
+}
 
 // ringTrace builds a ring-exchange trace for simulator throughput tests.
 func ringTrace(n, iters int, instr, bytes int64) *trace.Trace {

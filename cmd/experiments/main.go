@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -27,6 +28,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/paraver"
@@ -43,6 +45,7 @@ func main() {
 	csvdir := flag.String("csvdir", "", "directory for Fig. 5 CSV scatter data (optional)")
 	svgdir := flag.String("svgdir", "", "directory for SVG figures (optional)")
 	width := flag.Int("width", 100, "timeline/scatter width in characters")
+	workers := flag.Int("workers", 0, "experiment-engine worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -53,33 +56,48 @@ func main() {
 
 	tCfg := tracer.DefaultConfig()
 	tCfg.Chunks = *chunks
+	ctx := context.Background()
+	eng := engine.New(*workers)
 
 	if sel("table1") {
 		table1()
 	}
 
-	// Analyze every app once on its calibrated testbed; reuse the
-	// reports across artifacts.
+	// Analyze every app once on its calibrated testbed; the apps fan out
+	// across the engine pool, each app is traced exactly once through the
+	// shared cache, and the reports are reused across artifacts.
 	reports := map[string]*core.Report{}
 	runs := map[string]*tracer.Run{}
 	if sel("fig4") || sel("fig5") || sel("table2") || sel("fig6a") || sel("fig6b") || sel("fig6c") {
-		for _, e := range apps.All(*ranks) {
-			cfg := network.TestbedFor(e.App.Name, *ranks)
-			rep, err := core.Analyze(e.App, *ranks, cfg, tCfg)
+		entries := apps.All(*ranks)
+		type appAnalysis struct {
+			rep *core.Report
+			run *tracer.Run
+		}
+		results, err := engine.Map(ctx, eng, len(entries), func(ctx context.Context, i int) (appAnalysis, error) {
+			name := entries[i].App.Name
+			cfg := network.TestbedFor(name, *ranks)
+			run, err := eng.Traces().Trace(name, *ranks, tCfg, entries[i].App.Kernel)
 			if err != nil {
-				fatal("analyzing %s: %v", e.App.Name, err)
+				return appAnalysis{}, fmt.Errorf("tracing %s: %w", name, err)
 			}
-			reports[e.App.Name] = rep
-			run, err := tracer.Trace(e.App.Name, *ranks, tCfg, e.App.Kernel)
+			rep, err := core.AnalyzeRun(ctx, eng, run, cfg)
 			if err != nil {
-				fatal("tracing %s: %v", e.App.Name, err)
+				return appAnalysis{}, fmt.Errorf("analyzing %s: %w", name, err)
 			}
-			runs[e.App.Name] = run
+			return appAnalysis{rep: rep, run: run}, nil
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		for i, e := range entries {
+			reports[e.App.Name] = results[i].rep
+			runs[e.App.Name] = results[i].run
 		}
 	}
 
 	if sel("fig4") {
-		fig4(tCfg, *width)
+		fig4(ctx, eng, tCfg, *width)
 	}
 	if sel("fig5") {
 		fig5(runs, *csvdir, *svgdir, *width)
@@ -97,28 +115,51 @@ func main() {
 		fig6c(reports)
 	}
 	if sel("extras") {
-		extras(*ranks, tCfg)
+		extras(ctx, eng, *ranks, tCfg)
 	}
 }
 
 // extras prints the analyses this reproduction adds beyond the paper's
 // artifacts: critical-path attribution and per-buffer what-if rankings.
-func extras(ranks int, tCfg tracer.Config) {
+// The per-app jobs run across the engine; output order stays the paper's
+// app order because engine.Map preserves submission order.
+func extras(ctx context.Context, eng *engine.Engine, ranks int, tCfg tracer.Config) {
 	header("Extras — critical paths and per-buffer what-if (beyond the paper)")
-	for _, e := range apps.All(ranks) {
+	entries := apps.All(ranks)
+	type extra struct {
+		critPath string
+		whatIf   string
+	}
+	results, err := engine.Map(ctx, eng, len(entries), func(ctx context.Context, i int) (extra, error) {
+		e := entries[i]
 		name := e.App.Name
 		cfg := network.TestbedFor(name, ranks)
-		rep, err := core.Analyze(e.App, ranks, cfg, tCfg)
+		// The shared cache makes this a hit when the main analysis loop
+		// already traced the app (the default -only=all run).
+		run, err := eng.Traces().Trace(name, ranks, tCfg, e.App.Kernel)
 		if err != nil {
-			fatal("extras %s: %v", name, err)
+			return extra{}, fmt.Errorf("extras tracing %s: %w", name, err)
 		}
-		fmt.Printf("\n-- %s, non-overlapped --\n", name)
-		fmt.Print(sim.CriticalPathOf(rep.Base).Format(4))
-		wi, err := core.WhatIf(e.App, ranks, cfg, tCfg)
+		rep, err := core.AnalyzeRun(ctx, eng, run, cfg)
 		if err != nil {
-			fatal("extras %s what-if: %v", name, err)
+			return extra{}, fmt.Errorf("extras %s: %w", name, err)
 		}
-		fmt.Print(wi.Format())
+		wi, err := core.WhatIfRun(ctx, eng, run, cfg)
+		if err != nil {
+			return extra{}, fmt.Errorf("extras %s what-if: %w", name, err)
+		}
+		return extra{
+			critPath: sim.CriticalPathOf(rep.Base).Format(4),
+			whatIf:   wi.Format(),
+		}, nil
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	for i, e := range entries {
+		fmt.Printf("\n-- %s, non-overlapped --\n", e.App.Name)
+		fmt.Print(results[i].critPath)
+		fmt.Print(results[i].whatIf)
 	}
 }
 
@@ -141,10 +182,14 @@ func table1() {
 
 // fig4 reproduces the Figure 4 view: NAS-CG on 4 processes, first
 // iterations, non-overlapped vs overlapped timeline.
-func fig4(tCfg tracer.Config, width int) {
+func fig4(ctx context.Context, eng *engine.Engine, tCfg tracer.Config, width int) {
 	header("Figure 4 — Paraver view of NAS-CG (4 ranks): non-overlapped vs overlapped")
 	e, _ := apps.ByName("cg", 4)
-	rep, err := core.Analyze(e.App, 4, network.TestbedFor("cg", 4), tCfg)
+	run, err := eng.Traces().Trace("cg", 4, tCfg, e.App.Kernel)
+	if err != nil {
+		fatal("fig4: %v", err)
+	}
+	rep, err := core.AnalyzeRun(ctx, eng, run, network.TestbedFor("cg", 4))
 	if err != nil {
 		fatal("fig4: %v", err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/network"
 	"repro/internal/paraver"
 	"repro/internal/pattern"
@@ -41,6 +43,7 @@ func main() {
 	whatif := flag.Bool("whatif", false, "rank buffers by what idealizing each one alone would gain")
 	sizeScale := flag.Float64("size-scale", 1, "multiply communicated-buffer sizes")
 	iterScale := flag.Float64("iter-scale", 1, "multiply iteration counts")
+	workers := flag.Int("workers", 0, "experiment-engine worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	entry, ok := apps.ByNameScaled(*app, *ranks, apps.Scale{SizeScale: *sizeScale, IterScale: *iterScale})
@@ -57,7 +60,9 @@ func main() {
 	tCfg := tracer.DefaultConfig()
 	tCfg.Chunks = *chunks
 
-	rep, err := core.Analyze(entry.App, *ranks, cfg, tCfg)
+	ctx := context.Background()
+	eng := engine.New(*workers)
+	rep, err := core.AnalyzeWith(ctx, eng, entry.App, *ranks, cfg, tCfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "overlapsim: %v\n", err)
 		os.Exit(1)
@@ -94,7 +99,7 @@ func main() {
 		}
 	}
 	if *whatif {
-		wi, err := core.WhatIf(entry.App, *ranks, cfg, tCfg)
+		wi, err := core.WhatIfWith(ctx, eng, entry.App, *ranks, cfg, tCfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "overlapsim: what-if: %v\n", err)
 			os.Exit(1)

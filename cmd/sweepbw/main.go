@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/tracer"
@@ -32,6 +34,7 @@ func main() {
 	mode := flag.String("mode", "relax", "relax|equiv|series")
 	refBW := flag.Float64("ref", 250, "reference bandwidth in MB/s")
 	bws := flag.String("bws", "2,8,31,125,250,500,2000,8000", "comma-separated bandwidths for -mode series")
+	workers := flag.Int("workers", 0, "experiment-engine worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	entry, ok := apps.ByName(*app, *ranks)
@@ -39,8 +42,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweepbw: unknown app %q (known: %v)\n", *app, apps.Names)
 		os.Exit(2)
 	}
+	ctx := context.Background()
+	eng := engine.New(*workers)
 	cfg := network.TestbedFor(*app, *ranks).WithBandwidth(*refBW)
-	rep, err := core.Analyze(entry.App, *ranks, cfg, tracer.DefaultConfig())
+	rep, err := core.AnalyzeWith(ctx, eng, entry.App, *ranks, cfg, tracer.DefaultConfig())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweepbw: %v\n", err)
 		os.Exit(1)
@@ -81,14 +86,20 @@ func main() {
 			list = append(list, v)
 		}
 		fmt.Printf("%-10s %14s %14s %14s\n", "MB/s", "base (s)", "overlap-real", "overlap-ideal")
+		// All three flavours sweep concurrently; each sweep's bandwidth
+		// points fan out across the same pool (nested submissions are
+		// safe and stay within the -workers bound).
+		flavors := []core.Flavor{core.FlavorBase, core.FlavorReal, core.FlavorIdeal}
+		swept, err := engine.Map(ctx, eng, len(flavors), func(ctx context.Context, i int) (*metrics.Series, error) {
+			return rep.BandwidthSweepWith(ctx, eng, flavors[i], list)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweepbw: %v\n", err)
+			os.Exit(1)
+		}
 		series := map[core.Flavor]*metrics.Series{}
-		for _, f := range []core.Flavor{core.FlavorBase, core.FlavorReal, core.FlavorIdeal} {
-			s, err := rep.BandwidthSweep(f, list)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "sweepbw: %v\n", err)
-				os.Exit(1)
-			}
-			series[f] = s
+		for i, f := range flavors {
+			series[f] = swept[i]
 		}
 		for i, bw := range list {
 			fmt.Printf("%-10.1f %14.6f %14.6f %14.6f\n", bw,

@@ -17,7 +17,11 @@ func traceIt(t *testing.T, ranks int, cfg Config) *tracer.Run {
 }
 
 func TestTracesValidate(t *testing.T) {
-	for _, ranks := range []int{1, 2, 3, 4, 8} {
+	sizes := []int{1, 2, 3, 4, 8}
+	if testing.Short() {
+		sizes = []int{1, 2, 4} // the 8-rank trace dominates the cost
+	}
+	for _, ranks := range sizes {
 		run := traceIt(t, ranks, DefaultConfig())
 		for _, tr := range []interface{ Validate() error }{run.BaseTrace(), run.OverlapReal(), run.OverlapIdeal()} {
 			if err := tr.Validate(); err != nil {

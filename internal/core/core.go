@@ -11,8 +11,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/pattern"
@@ -61,8 +63,15 @@ type Report struct {
 }
 
 // Analyze traces the application once on ranks processes and reconstructs
-// the three execution flavours on the given platform.
+// the three execution flavours on the given platform. The three
+// build-and-replay jobs run concurrently on the default engine.
 func Analyze(app App, ranks int, netCfg network.Config, tCfg tracer.Config) (*Report, error) {
+	return AnalyzeWith(context.Background(), nil, app, ranks, netCfg, tCfg)
+}
+
+// AnalyzeWith is Analyze under an explicit context and engine (nil selects
+// the default engine).
+func AnalyzeWith(ctx context.Context, eng *engine.Engine, app App, ranks int, netCfg network.Config, tCfg tracer.Config) (*Report, error) {
 	if app.Kernel == nil {
 		return nil, fmt.Errorf("core: app %q has no kernel", app.Name)
 	}
@@ -73,24 +82,50 @@ func Analyze(app App, ranks int, netCfg network.Config, tCfg tracer.Config) (*Re
 	if err != nil {
 		return nil, fmt.Errorf("core: tracing %q: %w", app.Name, err)
 	}
-	rep := &Report{App: app.Name, Ranks: ranks, Network: netCfg}
-	rep.BaseTrace = run.BaseTrace()
-	rep.RealTrace = run.OverlapReal()
-	rep.IdealTrace = run.OverlapIdeal()
-	for _, tr := range []*trace.Trace{rep.BaseTrace, rep.RealTrace, rep.IdealTrace} {
+	return AnalyzeRun(ctx, eng, run, netCfg)
+}
+
+// AnalyzeRun reconstructs the three execution flavours of an
+// already-traced run on the given platform — the fan-out half of Analyze.
+// Callers that trace through the engine's shared cache (engine.TraceCache)
+// use it to analyze one traced execution under many platforms without
+// re-tracing. The per-flavour trace builds and replays are one engine job
+// each.
+func AnalyzeRun(ctx context.Context, eng *engine.Engine, run *tracer.Run, netCfg network.Config) (*Report, error) {
+	if err := netCfg.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{App: run.Name, Ranks: run.NumRanks, Network: netCfg}
+	type flavorJob struct {
+		flavor Flavor
+		build  func() *trace.Trace
+	}
+	jobs := []flavorJob{
+		{FlavorBase, run.BaseTrace},
+		{FlavorReal, run.OverlapReal},
+		{FlavorIdeal, run.OverlapIdeal},
+	}
+	type flavorOut struct {
+		tr  *trace.Trace
+		res *sim.Result
+	}
+	outs, err := engine.Map(ctx, eng, len(jobs), func(ctx context.Context, i int) (flavorOut, error) {
+		tr := jobs[i].build()
 		if err := tr.Validate(); err != nil {
-			return nil, fmt.Errorf("core: generated trace invalid: %w", err)
+			return flavorOut{}, fmt.Errorf("core: generated trace invalid: %w", err)
 		}
+		res, err := sim.Run(netCfg, tr)
+		if err != nil {
+			return flavorOut{}, fmt.Errorf("core: replaying %s: %w", jobs[i].flavor, err)
+		}
+		return flavorOut{tr: tr, res: res}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if rep.Base, err = sim.Run(netCfg, rep.BaseTrace); err != nil {
-		return nil, fmt.Errorf("core: replaying base: %w", err)
-	}
-	if rep.Real, err = sim.Run(netCfg, rep.RealTrace); err != nil {
-		return nil, fmt.Errorf("core: replaying overlap-real: %w", err)
-	}
-	if rep.Ideal, err = sim.Run(netCfg, rep.IdealTrace); err != nil {
-		return nil, fmt.Errorf("core: replaying overlap-ideal: %w", err)
-	}
+	rep.BaseTrace, rep.Base = outs[0].tr, outs[0].res
+	rep.RealTrace, rep.Real = outs[1].tr, outs[1].res
+	rep.IdealTrace, rep.Ideal = outs[2].tr, outs[2].res
 	rep.SpeedupReal = metrics.Speedup(rep.Base.FinishSec, rep.Real.FinishSec)
 	rep.SpeedupIdeal = metrics.Speedup(rep.Base.FinishSec, rep.Ideal.FinishSec)
 	rep.Patterns = pattern.Analyze(run)
@@ -173,14 +208,25 @@ func (r *Report) EquivalentBandwidth(f Flavor, opts metrics.SearchOptions) (floa
 
 // BandwidthSweep replays one flavour across the given bandwidths and
 // returns the finish-time series, the raw data behind the Fig. 6 plots.
+// The replay points run concurrently on the default engine.
 func (r *Report) BandwidthSweep(f Flavor, bandwidths []float64) (*metrics.Series, error) {
+	return r.BandwidthSweepWith(context.Background(), nil, f, bandwidths)
+}
+
+// BandwidthSweepWith is BandwidthSweep under an explicit context and
+// engine (nil selects the default engine): every bandwidth point replays
+// the shared flavour trace on one pool worker, and the series keeps the
+// input bandwidth order.
+func (r *Report) BandwidthSweepWith(ctx context.Context, eng *engine.Engine, f Flavor, bandwidths []float64) (*metrics.Series, error) {
+	fins, err := engine.Map(ctx, eng, len(bandwidths), func(ctx context.Context, i int) (float64, error) {
+		return r.FinishAt(f, r.Network.WithBandwidth(bandwidths[i]))
+	})
+	if err != nil {
+		return nil, err
+	}
 	s := &metrics.Series{Label: fmt.Sprintf("%s/%s", r.App, f)}
-	for _, bw := range bandwidths {
-		fin, err := r.FinishAt(f, r.Network.WithBandwidth(bw))
-		if err != nil {
-			return nil, err
-		}
-		s.Add(bw, fin)
+	for i, bw := range bandwidths {
+		s.Add(bw, fins[i])
 	}
 	return s, nil
 }

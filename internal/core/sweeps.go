@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/sim"
@@ -10,9 +12,12 @@ import (
 )
 
 // Parameter-sweep studies built on the pipeline: chunk-count ablation and
-// strong-scaling runs. Both retrace the application per point (the traced
-// execution itself depends on neither, but chunking happens at
-// trace-build time and scaling changes the rank count).
+// strong-scaling runs. Both are embarrassingly parallel — every point is a
+// pure function of the traced run and its parameters — so they submit
+// their points to the experiment engine: the application is traced once,
+// the per-point trace rebuilds and replays fan out across the worker
+// pool, and results come back in input order, byte-identical to the
+// serial reference path.
 
 // ChunkPoint is one measurement of the chunk-count ablation.
 type ChunkPoint struct {
@@ -21,55 +26,101 @@ type ChunkPoint struct {
 }
 
 // ChunkSweep measures overlap speedups across chunk counts. The paper
-// fixes 4 chunks; the sweep quantifies that design choice.
+// fixes 4 chunks; the sweep quantifies that design choice. Points run
+// concurrently on the default engine.
 func ChunkSweep(app App, ranks int, netCfg network.Config, tCfg tracer.Config, counts []int) ([]ChunkPoint, error) {
-	if err := netCfg.Validate(); err != nil {
-		return nil, err
-	}
-	run, err := tracer.Trace(app.Name, ranks, tCfg, app.Kernel)
+	return ChunkSweepWith(context.Background(), nil, app, ranks, netCfg, tCfg, counts)
+}
+
+// ChunkSweepWith is ChunkSweep under an explicit context and engine (nil
+// selects the default engine). The application is traced once; each chunk
+// count rebuilds the overlapped traces from a copy-on-write variant of
+// the shared run and replays them on a pool worker.
+func ChunkSweepWith(ctx context.Context, eng *engine.Engine, app App, ranks int, netCfg network.Config, tCfg tracer.Config, counts []int) ([]ChunkPoint, error) {
+	run, baseFinish, err := chunkSweepPrelude(app, ranks, netCfg, tCfg, counts)
 	if err != nil {
 		return nil, err
 	}
-	base := run.BaseTrace()
-	if err := base.Validate(); err != nil {
-		return nil, err
-	}
-	baseRes, err := sim.Run(netCfg, base)
+	return engine.Map(ctx, eng, len(counts), func(ctx context.Context, i int) (ChunkPoint, error) {
+		return chunkPoint(run, counts[i], netCfg, baseFinish)
+	})
+}
+
+// ChunkSweepSerial is the serial reference implementation of ChunkSweep:
+// one goroutine, the original loop. It exists so determinism tests and
+// BenchmarkEngineParallelSweep can assert the engine path returns
+// byte-identical results while measuring its speedup.
+func ChunkSweepSerial(app App, ranks int, netCfg network.Config, tCfg tracer.Config, counts []int) ([]ChunkPoint, error) {
+	run, baseFinish, err := chunkSweepPrelude(app, ranks, netCfg, tCfg, counts)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]ChunkPoint, 0, len(counts))
 	for _, k := range counts {
-		if k <= 0 {
-			return nil, fmt.Errorf("core: chunk count %d", k)
-		}
-		// Rebuild the overlapped traces under a different chunking of
-		// the same event log.
-		kRun := *run
-		kRun.Cfg.Chunks = k
-		real := kRun.OverlapReal()
-		ideal := kRun.OverlapIdeal()
-		if err := real.Validate(); err != nil {
-			return nil, fmt.Errorf("core: chunks=%d real: %w", k, err)
-		}
-		if err := ideal.Validate(); err != nil {
-			return nil, fmt.Errorf("core: chunks=%d ideal: %w", k, err)
-		}
-		realRes, err := sim.Run(netCfg, real)
+		pt, err := chunkPoint(run, k, netCfg, baseFinish)
 		if err != nil {
 			return nil, err
 		}
-		idealRes, err := sim.Run(netCfg, ideal)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, ChunkPoint{
-			Chunks:       k,
-			SpeedupReal:  metrics.Speedup(baseRes.FinishSec, realRes.FinishSec),
-			SpeedupIdeal: metrics.Speedup(baseRes.FinishSec, idealRes.FinishSec),
-		})
+		out = append(out, pt)
 	}
 	return out, nil
+}
+
+// chunkSweepPrelude is the setup shared by the parallel and serial sweep
+// paths: validate inputs, trace the application once, and replay the
+// non-overlapped baseline. Keeping it single-sourced is what makes the
+// two paths byte-identical by construction.
+func chunkSweepPrelude(app App, ranks int, netCfg network.Config, tCfg tracer.Config, counts []int) (*tracer.Run, float64, error) {
+	if err := netCfg.Validate(); err != nil {
+		return nil, 0, err
+	}
+	for _, k := range counts {
+		if k <= 0 {
+			return nil, 0, fmt.Errorf("core: chunk count %d", k)
+		}
+	}
+	run, err := tracer.Trace(app.Name, ranks, tCfg, app.Kernel)
+	if err != nil {
+		return nil, 0, err
+	}
+	base := run.BaseTrace()
+	if err := base.Validate(); err != nil {
+		return nil, 0, err
+	}
+	baseRes, err := sim.Run(netCfg, base)
+	if err != nil {
+		return nil, 0, err
+	}
+	return run, baseRes.FinishSec, nil
+}
+
+// chunkPoint rebuilds the overlapped traces under a different chunking of
+// the same event log and replays them. The copy-on-write variant keeps
+// concurrent points from sharing a mutable Run header (the old
+// `kRun := *run` shallow copy aliased the log slices).
+func chunkPoint(run *tracer.Run, k int, netCfg network.Config, baseFinish float64) (ChunkPoint, error) {
+	kRun := run.WithChunks(k)
+	real := kRun.OverlapReal()
+	ideal := kRun.OverlapIdeal()
+	if err := real.Validate(); err != nil {
+		return ChunkPoint{}, fmt.Errorf("core: chunks=%d real: %w", k, err)
+	}
+	if err := ideal.Validate(); err != nil {
+		return ChunkPoint{}, fmt.Errorf("core: chunks=%d ideal: %w", k, err)
+	}
+	realRes, err := sim.Run(netCfg, real)
+	if err != nil {
+		return ChunkPoint{}, err
+	}
+	idealRes, err := sim.Run(netCfg, ideal)
+	if err != nil {
+		return ChunkPoint{}, err
+	}
+	return ChunkPoint{
+		Chunks:       k,
+		SpeedupReal:  metrics.Speedup(baseFinish, realRes.FinishSec),
+		SpeedupIdeal: metrics.Speedup(baseFinish, idealRes.FinishSec),
+	}, nil
 }
 
 // ScalePoint is one measurement of a strong-scaling study.
@@ -84,24 +135,30 @@ type ScalePoint struct {
 type AppFactory func(ranks int) (App, error)
 
 // ScalingStudy analyzes the application across rank counts on platforms
-// derived from cfgFor.
+// derived from cfgFor. Points run concurrently on the default engine.
 func ScalingStudy(factory AppFactory, rankCounts []int, cfgFor func(ranks int) network.Config, tCfg tracer.Config) ([]ScalePoint, error) {
-	out := make([]ScalePoint, 0, len(rankCounts))
-	for _, ranks := range rankCounts {
+	return ScalingStudyWith(context.Background(), nil, factory, rankCounts, cfgFor, tCfg)
+}
+
+// ScalingStudyWith is ScalingStudy under an explicit context and engine
+// (nil selects the default engine). Each rank count is one job: trace,
+// build, and replay all three flavours.
+func ScalingStudyWith(ctx context.Context, eng *engine.Engine, factory AppFactory, rankCounts []int, cfgFor func(ranks int) network.Config, tCfg tracer.Config) ([]ScalePoint, error) {
+	return engine.Map(ctx, eng, len(rankCounts), func(ctx context.Context, i int) (ScalePoint, error) {
+		ranks := rankCounts[i]
 		app, err := factory(ranks)
 		if err != nil {
-			return nil, err
+			return ScalePoint{}, err
 		}
-		rep, err := Analyze(app, ranks, cfgFor(ranks), tCfg)
+		rep, err := AnalyzeWith(ctx, eng, app, ranks, cfgFor(ranks), tCfg)
 		if err != nil {
-			return nil, fmt.Errorf("core: scaling at %d ranks: %w", ranks, err)
+			return ScalePoint{}, fmt.Errorf("core: scaling at %d ranks: %w", ranks, err)
 		}
-		out = append(out, ScalePoint{
+		return ScalePoint{
 			Ranks:         ranks,
 			BaseFinishSec: rep.Base.FinishSec,
 			SpeedupReal:   rep.SpeedupReal,
 			SpeedupIdeal:  rep.SpeedupIdeal,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }

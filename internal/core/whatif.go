@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/sim"
@@ -32,8 +34,17 @@ type BufferPotential struct {
 }
 
 // WhatIf runs the per-buffer idealization study for an application. It
-// traces the application once and replays len(buffers)+2 traces.
+// traces the application once and replays len(buffers)+2 traces, fanning
+// the replays out across the default engine.
 func WhatIf(app App, ranks int, netCfg network.Config, tCfg tracer.Config) (*WhatIfReport, error) {
+	return WhatIfWith(context.Background(), nil, app, ranks, netCfg, tCfg)
+}
+
+// WhatIfWith is WhatIf under an explicit context and engine (nil selects
+// the default engine). The two reference replays and every selective
+// per-buffer replay are one engine job each, all reading the one shared
+// traced run.
+func WhatIfWith(ctx context.Context, eng *engine.Engine, app App, ranks int, netCfg network.Config, tCfg tracer.Config) (*WhatIfReport, error) {
 	if err := netCfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -41,44 +52,59 @@ func WhatIf(app App, ranks int, netCfg network.Config, tCfg tracer.Config) (*Wha
 	if err != nil {
 		return nil, fmt.Errorf("core: what-if tracing %q: %w", app.Name, err)
 	}
-	base := run.BaseTrace()
-	real := run.OverlapReal()
-	if err := base.Validate(); err != nil {
+	return WhatIfRun(ctx, eng, run, netCfg)
+}
+
+// WhatIfRun is the fan-out half of WhatIf for an already-traced run —
+// the entry point for callers that trace through the engine's shared
+// cache and reuse one run across several studies.
+func WhatIfRun(ctx context.Context, eng *engine.Engine, run *tracer.Run, netCfg network.Config) (*WhatIfReport, error) {
+	if err := netCfg.Validate(); err != nil {
 		return nil, err
 	}
-	if err := real.Validate(); err != nil {
-		return nil, err
-	}
-	baseRes, err := sim.Run(netCfg, base)
+	refs, err := engine.Map(ctx, eng, 2, func(ctx context.Context, i int) (*sim.Result, error) {
+		tr := run.BaseTrace()
+		if i == 1 {
+			tr = run.OverlapReal()
+		}
+		if err := tr.Validate(); err != nil {
+			return nil, err
+		}
+		return sim.Run(netCfg, tr)
+	})
 	if err != nil {
 		return nil, err
 	}
-	realRes, err := sim.Run(netCfg, real)
-	if err != nil {
-		return nil, err
-	}
+	baseRes, realRes := refs[0], refs[1]
 	rep := &WhatIfReport{
-		App:           app.Name,
+		App:           run.Name,
 		BaseFinishSec: baseRes.FinishSec,
 		RealFinishSec: realRes.FinishSec,
 	}
-	for _, name := range run.BufferNames() {
+	names := run.BufferNames()
+	rep.Buffers, err = engine.Map(ctx, eng, len(names), func(ctx context.Context, i int) (BufferPotential, error) {
+		name := names[i]
 		tr := run.OverlapSelective(map[string]bool{name: true})
 		if err := tr.Validate(); err != nil {
-			return nil, fmt.Errorf("core: selective trace for %q: %w", name, err)
+			return BufferPotential{}, fmt.Errorf("core: selective trace for %q: %w", name, err)
 		}
 		res, err := sim.Run(netCfg, tr)
 		if err != nil {
-			return nil, fmt.Errorf("core: replaying selective %q: %w", name, err)
+			return BufferPotential{}, fmt.Errorf("core: replaying selective %q: %w", name, err)
 		}
-		rep.Buffers = append(rep.Buffers, BufferPotential{
+		return BufferPotential{
 			Buffer:       name,
 			FinishSec:    res.FinishSec,
 			Speedup:      metrics.Speedup(baseRes.FinishSec, res.FinishSec),
 			GainOverReal: metrics.Speedup(realRes.FinishSec, res.FinishSec),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(rep.Buffers, func(i, j int) bool {
+	// Rank by marginal gain; ties keep the deterministic buffer-name order
+	// the jobs were submitted in.
+	sort.SliceStable(rep.Buffers, func(i, j int) bool {
 		return rep.Buffers[i].GainOverReal > rep.Buffers[j].GainOverReal
 	})
 	return rep, nil

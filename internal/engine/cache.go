@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/tracer"
+)
+
+// TraceCache deduplicates tracer runs across experiments: the first request
+// for a (name, ranks, config) triple executes the application under
+// instrumentation, every later or concurrent request for the same triple
+// shares the one cached *tracer.Run. Concurrent first requests are
+// single-flighted — the application is traced exactly once.
+//
+// Cached runs are shared across goroutines; callers must treat them as
+// immutable, which the tracer API guarantees (see tracer.Run). Variant
+// building goes through copy-on-write helpers such as Run.WithChunks.
+//
+// The key deliberately excludes the kernel function: kernels are not
+// comparable, so the cache trusts the application name to identify the
+// kernel, the invariant the apps registry maintains. Do not share one
+// cache between distinct kernels registered under one name.
+type TraceCache struct {
+	mu sync.Mutex
+	m  map[traceKey]*traceEntry
+}
+
+type traceKey struct {
+	name  string
+	ranks int
+	cfg   tracer.Config
+}
+
+type traceEntry struct {
+	once sync.Once
+	run  *tracer.Run
+	err  error
+}
+
+// NewTraceCache returns an empty cache.
+func NewTraceCache() *TraceCache {
+	return &TraceCache{m: map[traceKey]*traceEntry{}}
+}
+
+// Trace returns the cached run for (name, ranks, cfg), tracing the
+// application on a miss. Failed traces are cached too: retrying a
+// deterministic failure would only repeat it.
+func (c *TraceCache) Trace(name string, ranks int, cfg tracer.Config, kernel func(p *tracer.Proc)) (*tracer.Run, error) {
+	key := traceKey{name: name, ranks: ranks, cfg: cfg}
+	c.mu.Lock()
+	ent, ok := c.m[key]
+	if !ok {
+		ent = &traceEntry{}
+		c.m[key] = ent
+	}
+	c.mu.Unlock()
+	ent.once.Do(func() {
+		ent.run, ent.err = tracer.Trace(name, ranks, cfg, kernel)
+	})
+	return ent.run, ent.err
+}
+
+// Len reports how many distinct runs the cache holds (including cached
+// failures).
+func (c *TraceCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Purge empties the cache.
+func (c *TraceCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = map[traceKey]*traceEntry{}
+}

@@ -1,0 +1,202 @@
+// Package engine is the concurrent experiment engine of the framework: it
+// runs independent experiment jobs — trace replays, sweep points, what-if
+// variants, whole-app analyses — across a bounded goroutine worker pool.
+//
+// The trace-replay methodology of the paper is embarrassingly parallel:
+// an application is traced once and the resulting event log is replayed
+// many times under varied parameters (chunk counts, bandwidths, idealized
+// buffers, platform configurations). Every replay is a pure function of
+// (platform config, trace), so the engine fans replays out across workers
+// while guaranteeing:
+//
+//   - bounded concurrency: at most Workers jobs run at once, regardless of
+//     how many jobs are submitted or how submissions nest;
+//   - deterministic result ordering: Map returns results indexed exactly
+//     like its inputs, so parallel sweeps are byte-identical to serial ones;
+//   - per-job error aggregation: every failing job is reported with its
+//     index (Errors), not just the first failure;
+//   - context-based cancellation: unstarted jobs inherit ctx.Err() and the
+//     submitting loop stops promptly.
+//
+// Deadlock-freedom comes from the caller-runs discipline: a submitter
+// never blocks waiting for a pool slot. It opportunistically hands jobs to
+// free workers and otherwise runs them inline on its own goroutine. A job
+// may therefore call Map on the same engine — directly or through any of
+// the context-free convenience wrappers in package core — without risking
+// a pool whose every worker waits on sub-jobs. The cost is that each
+// concurrently-submitting goroutine may execute at most one job itself, so
+// total parallelism is bounded by Workers plus the number of concurrent
+// Map callers (each of which would otherwise sit idle).
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// Engine is a bounded worker pool plus a shared trace cache. The zero
+// value is not usable; create one with New. An Engine is safe for
+// concurrent use and may be shared by any number of experiments.
+type Engine struct {
+	workers int
+	sem     chan struct{}
+	traces  *TraceCache
+}
+
+// New returns an engine running at most workers jobs concurrently.
+// workers <= 0 selects GOMAXPROCS, the number of usable CPUs.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		traces:  NewTraceCache(),
+	}
+}
+
+// Workers returns the concurrency bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Traces returns the engine's shared trace cache: trace an application
+// once, fan its replays out across the pool.
+func (e *Engine) Traces() *TraceCache { return e.traces }
+
+var (
+	defaultOnce   sync.Once
+	defaultEngine *Engine
+)
+
+// Default returns the process-wide engine, created on first use with
+// GOMAXPROCS workers. Library entry points that take an optional *Engine
+// fall back to it when handed nil.
+func Default() *Engine {
+	defaultOnce.Do(func() { defaultEngine = New(0) })
+	return defaultEngine
+}
+
+// JobError is the failure of one job, tagged with its submission index.
+type JobError struct {
+	Index int
+	Err   error
+}
+
+func (e *JobError) Error() string { return fmt.Sprintf("job %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the job's underlying error to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// Errors aggregates every failed job of one Map call, ordered by job
+// index. Map returns it (as error) when at least one job failed.
+type Errors []*JobError
+
+func (e Errors) Error() string {
+	if len(e) == 1 {
+		return "engine: " + e[0].Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine: %d jobs failed: ", len(e))
+	for i, je := range e {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(je.Error())
+	}
+	return b.String()
+}
+
+// Unwrap exposes the individual job errors to errors.Is/As.
+func (e Errors) Unwrap() []error {
+	out := make([]error, len(e))
+	for i, je := range e {
+		out[i] = je
+	}
+	return out
+}
+
+// Map runs n jobs across the pool and returns their results in submission
+// order: out[i] is job i's result. All jobs run to completion (or
+// cancellation) before Map returns; failures are aggregated into an Errors
+// value carrying each failed job's index, with out[i] left at the zero
+// value for failed jobs. When ctx is cancelled, running jobs are expected
+// to honour ctx themselves; jobs not yet started fail with ctx.Err().
+// A nil engine uses Default(). A panicking job is reported as that job's
+// error instead of crashing the pool.
+//
+// Submission follows the caller-runs discipline (see the package comment):
+// a job goes to a pool worker when a slot is free and otherwise runs
+// inline on the submitting goroutine, so Map never deadlocks however it
+// nests.
+func Map[T any](ctx context.Context, e *Engine, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if e == nil {
+		e = Default()
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			cancelFrom(errs, i, ctx)
+			break
+		}
+		select {
+		case e.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-e.sem }()
+				out[i], errs[i] = runJob(ctx, i, fn)
+			}(i)
+		default:
+			// Pool saturated: the submitter works instead of waiting.
+			out[i], errs[i] = runJob(ctx, i, fn)
+		}
+	}
+	wg.Wait()
+	return out, aggregate(errs)
+}
+
+// ForEach is Map for jobs that produce no result.
+func ForEach(ctx context.Context, e *Engine, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := Map(ctx, e, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}
+
+func runJob[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: job %d panicked: %v", i, r)
+		}
+	}()
+	return fn(ctx, i)
+}
+
+// cancelFrom marks jobs [i, n) as failed with the context's error.
+func cancelFrom(errs []error, i int, ctx context.Context) {
+	err := context.Cause(ctx)
+	if err == nil {
+		err = ctx.Err()
+	}
+	for j := i; j < len(errs); j++ {
+		errs[j] = err
+	}
+}
+
+func aggregate(errs []error) error {
+	var agg Errors
+	for i, err := range errs {
+		if err != nil {
+			agg = append(agg, &JobError{Index: i, Err: err})
+		}
+	}
+	if len(agg) == 0 {
+		return nil
+	}
+	return agg
+}

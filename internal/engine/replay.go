@@ -1,0 +1,29 @@
+package engine
+
+import (
+	"context"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ReplayAll replays every trace on the platform cfg through the pool and
+// returns the results in input order. Traces may repeat (replaying one
+// shared trace N times is race-free: the simulator never mutates its
+// trace) and nil results mark failed replays, whose errors come back
+// aggregated per index.
+func ReplayAll(ctx context.Context, e *Engine, cfg network.Config, traces []*trace.Trace) ([]*sim.Result, error) {
+	return Map(ctx, e, len(traces), func(ctx context.Context, i int) (*sim.Result, error) {
+		return sim.Run(cfg, traces[i])
+	})
+}
+
+// ReplayConfigs replays one trace on every platform configuration through
+// the pool — the shape of a bandwidth sweep — returning results in input
+// order.
+func ReplayConfigs(ctx context.Context, e *Engine, cfgs []network.Config, tr *trace.Trace) ([]*sim.Result, error) {
+	return Map(ctx, e, len(cfgs), func(ctx context.Context, i int) (*sim.Result, error) {
+		return sim.Run(cfgs[i], tr)
+	})
+}

@@ -14,6 +14,7 @@ package sim
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -144,8 +145,8 @@ func (h eventHeap) Less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	e := old[n-1]
@@ -336,9 +337,15 @@ type Simulator struct {
 	result   Result
 }
 
+// ErrNilTrace reports a replay requested without a trace.
+var ErrNilTrace = errors.New("sim: nil trace")
+
 // New prepares a replay of tr on the platform cfg. The trace rank count
-// must not exceed cfg.Processors.
+// must not exceed cfg.Processors. A nil trace yields ErrNilTrace.
 func New(cfg network.Config, tr *trace.Trace) (*Simulator, error) {
+	if tr == nil {
+		return nil, ErrNilTrace
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

@@ -120,11 +120,40 @@ type Log struct {
 }
 
 // Run is the output of tracing one application execution.
+//
+// A Run is immutable once Trace returns: the trace builders only read the
+// event logs, so one Run may back any number of concurrent replays and
+// variant builds. Derive re-parameterized variants with WithChunks (or
+// WithConfig) instead of mutating Cfg in place — a shallow struct copy
+// (`v := *run`) would alias Logs and its event slices, and writing through
+// either copy would race with readers of the other.
 type Run struct {
 	Name     string
 	NumRanks int
 	Cfg      Config
-	Logs     []*Log // indexed by rank
+	Logs     []*Log // indexed by rank; treat as immutable
+}
+
+// WithConfig returns a copy-on-write variant of the run whose traces are
+// built under cfg. The variant owns its Run header and Logs slice (so
+// appends or element writes through one cannot reach the other) while the
+// per-rank logs — immutable after Trace — stay shared, keeping variant
+// creation O(ranks) instead of O(events).
+func (r *Run) WithConfig(cfg Config) *Run {
+	v := *r
+	v.Cfg = cfg
+	v.Logs = append([]*Log(nil), r.Logs...)
+	return &v
+}
+
+// WithChunks returns a copy-on-write variant of the run whose overlapped
+// traces split each message into k chunks. This is the safe spelling of
+// the chunk-count ablation's per-point rebuild; see WithConfig for the
+// sharing contract.
+func (r *Run) WithChunks(k int) *Run {
+	cfg := r.Cfg
+	cfg.Chunks = k
+	return r.WithConfig(cfg)
 }
 
 // Proc is the instrumented per-rank endpoint handed to application kernels.
