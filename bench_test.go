@@ -456,6 +456,46 @@ func BenchmarkSimulatorReplay(b *testing.B) {
 	b.ReportMetric(float64(records), "records/replay")
 }
 
+// BenchmarkSimHierarchical measures the hierarchical replay path on the
+// same 32-rank ring: the degenerate one-rank-per-node platform (the
+// flat-equivalence cost), and genuinely multi-node platforms under both
+// placements. The flat and flat-degenerate sub-benchmarks should be
+// indistinguishable — the classification is a per-transfer table lookup.
+func BenchmarkSimHierarchical(b *testing.B) {
+	tr := ringTrace(32, 50, 100_000, 10_000)
+	records := 0
+	for r := range tr.Ranks {
+		records += len(tr.Ranks[r].Records)
+	}
+	multi, err := network.PlatformPreset("fatnode-smp", 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		plat network.Platform
+	}{
+		{"flat-degenerate", network.Testbed(32).Platform()},
+		{"fatnode-block", multi},
+		{"fatnode-rr", multi.WithMapping(network.RoundRobinMapping())},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var intra int64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.RunOn(tc.plat, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				intra, _, _, _ = res.TrafficSplit()
+			}
+			b.ReportMetric(float64(records), "records/replay")
+			b.ReportMetric(float64(intra), "intra_bytes")
+		})
+	}
+}
+
 // BenchmarkTracerInstrumentation measures the per-access tracking cost.
 func BenchmarkTracerInstrumentation(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -15,6 +15,11 @@
 //	experiments [-ranks N] [-chunks K] [-only table1,fig4,...]
 //
 // Output goes to stdout; -csvdir writes the Fig. 5 scatter data as CSV.
+//
+// The platform flags (-preset, -platform, -nodes, -map, ...) swap the
+// platform under every per-app analysis (Fig. 4 stays pinned to the
+// paper's testbed); "-only mapping" adds the hierarchical placement study:
+// block vs round-robin per application plus a CG node-count sweep.
 package main
 
 import (
@@ -33,6 +38,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/paraver"
 	"repro/internal/pattern"
+	"repro/internal/platformflag"
 	"repro/internal/plot"
 	"repro/internal/sim"
 	"repro/internal/tracer"
@@ -41,7 +47,8 @@ import (
 func main() {
 	ranks := flag.Int("ranks", 16, "ranks per application run (the paper uses 64)")
 	chunks := flag.Int("chunks", 4, "chunks per message in the overlapped traces")
-	only := flag.String("only", "all", "comma-separated subset: table1,fig4,fig5,table2,fig6a,fig6b,fig6c,extras")
+	only := flag.String("only", "all", "comma-separated subset: table1,fig4,fig5,table2,fig6a,fig6b,fig6c,mapping,extras")
+	pf := platformflag.Register(flag.CommandLine)
 	csvdir := flag.String("csvdir", "", "directory for Fig. 5 CSV scatter data (optional)")
 	svgdir := flag.String("svgdir", "", "directory for SVG figures (optional)")
 	width := flag.Int("width", 100, "timeline/scatter width in characters")
@@ -59,11 +66,31 @@ func main() {
 	ctx := context.Background()
 	eng := engine.New(*workers)
 
+	// platFor resolves the active platform for one application: the
+	// calibrated testbed by default, or whatever -preset/-platform plus
+	// the override flags select.
+	platFor := func(name string) network.Platform {
+		p, err := pf.Resolve(name, *ranks)
+		if err != nil {
+			fatal("%v", err)
+		}
+		return p
+	}
+	if pf.DumpRequested() {
+		// The default testbed carries per-app Table I bus calibrations;
+		// one dump can only capture one of them.
+		fmt.Fprintln(os.Stderr, "experiments: dumping the platform as resolved for app \"cg\" (Table I bus calibration varies per app)")
+		if err := pf.Dump(os.Stdout, platFor("cg")); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+
 	if sel("table1") {
 		table1()
 	}
 
-	// Analyze every app once on its calibrated testbed; the apps fan out
+	// Analyze every app once on its active platform; the apps fan out
 	// across the engine pool, each app is traced exactly once through the
 	// shared cache, and the reports are reused across artifacts.
 	reports := map[string]*core.Report{}
@@ -76,12 +103,11 @@ func main() {
 		}
 		results, err := engine.Map(ctx, eng, len(entries), func(ctx context.Context, i int) (appAnalysis, error) {
 			name := entries[i].App.Name
-			cfg := network.TestbedFor(name, *ranks)
 			run, err := eng.Traces().Trace(name, *ranks, tCfg, entries[i].App.Kernel)
 			if err != nil {
 				return appAnalysis{}, fmt.Errorf("tracing %s: %w", name, err)
 			}
-			rep, err := core.AnalyzeRun(ctx, eng, run, cfg)
+			rep, err := core.AnalyzeRunOn(ctx, eng, run, platFor(name))
 			if err != nil {
 				return appAnalysis{}, fmt.Errorf("analyzing %s: %w", name, err)
 			}
@@ -114,9 +140,88 @@ func main() {
 	if sel("fig6c") {
 		fig6c(reports)
 	}
+	if sel("mapping") {
+		mappingStudy(ctx, eng, *ranks, tCfg, platFor, *svgdir)
+	}
 	if sel("extras") {
 		extras(ctx, eng, *ranks, tCfg)
 	}
+}
+
+// mappingStudy is the hierarchical-platform artifact: per application,
+// block vs round-robin placement on the active multi-node platform (the
+// marenostrum-4x preset when the flags selected a flat one), plus a CG
+// node-count sweep. The per-app sweeps run through the engine; traces come
+// from the shared cache.
+func mappingStudy(ctx context.Context, eng *engine.Engine, ranks int, tCfg tracer.Config, platFor func(string) network.Platform, svgdir string) {
+	header("Mapping study — block vs round-robin placement (hierarchical platform)")
+	basePlat := func(name string) network.Platform {
+		p := platFor(name)
+		if !p.MultiNode() {
+			hp, err := network.PlatformPreset("marenostrum-4x", ranks)
+			if err != nil {
+				fatal("mapping: %v", err)
+			}
+			hp.Buses = p.Buses // keep the app's Table I calibration on the interconnect
+			p = hp
+		}
+		return p
+	}
+	fmt.Printf("platform: %s\n\n", basePlat("cg").Describe())
+	mappings := []network.Mapping{network.BlockMapping(), network.RoundRobinMapping()}
+	entries := apps.All(ranks)
+	swept, err := engine.Map(ctx, eng, len(entries), func(ctx context.Context, i int) ([]core.MappingPoint, error) {
+		name := entries[i].App.Name
+		run, err := eng.Traces().Trace(name, ranks, tCfg, entries[i].App.Kernel)
+		if err != nil {
+			return nil, fmt.Errorf("mapping tracing %s: %w", name, err)
+		}
+		pts := make([]core.MappingPoint, 0, len(mappings))
+		for _, m := range mappings {
+			pt, err := core.MappingPointOf(run, basePlat(name).WithMapping(m))
+			if err != nil {
+				return nil, fmt.Errorf("mapping %s/%s: %w", name, m, err)
+			}
+			pts = append(pts, pt)
+		}
+		return pts, nil
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	var groups []plot.BarGroup
+	for i, e := range entries {
+		fmt.Printf("-- %s --\n%s\n", e.App.Name, core.FormatMappingPoints(swept[i]))
+		groups = append(groups, plot.BarGroup{
+			Label:  e.App.Name,
+			Values: []float64{swept[i][0].BaseFinishSec * 1e3, swept[i][1].BaseFinishSec * 1e3},
+		})
+	}
+	if svgdir != "" {
+		path := filepath.Join(svgdir, "mapping_block_vs_rr.svg")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal("mapping svg: %v", err)
+		}
+		if err := plot.WriteBarsSVG(f, "Placement — non-overlapped finish by mapping", "finish (ms)",
+			[]string{"block", "round-robin"}, groups); err != nil {
+			fatal("mapping svg: %v", err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	fmt.Printf("\nCG node-count sweep (%d ranks packed onto N nodes):\n", ranks)
+	e, _ := apps.ByName("cg", ranks)
+	var counts []int
+	for n := 1; n <= ranks; n *= 2 {
+		counts = append(counts, n)
+	}
+	pts, err := core.NodeCountSweepWith(ctx, eng, e.App, ranks, basePlat("cg"), tCfg, counts)
+	if err != nil {
+		fatal("node-count sweep: %v", err)
+	}
+	fmt.Print(core.FormatNodeCountPoints(pts))
 }
 
 // extras prints the analyses this reproduction adds beyond the paper's

@@ -8,6 +8,8 @@
 //	overlapsim -app cg -ranks 4
 //	overlapsim -app sweep3d -ranks 16 -bw 125 -buses 12 -timeline
 //	overlapsim -app pop -ranks 16 -dump-traces /tmp/pop
+//	overlapsim -app cg -ranks 16 -preset marenostrum-4x -map rr
+//	overlapsim -app cg -ranks 16 -platform cluster.json -dump-platform
 package main
 
 import (
@@ -20,9 +22,9 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/engine"
-	"repro/internal/network"
 	"repro/internal/paraver"
 	"repro/internal/pattern"
+	"repro/internal/platformflag"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/tracer"
@@ -32,9 +34,7 @@ func main() {
 	app := flag.String("app", "cg", "application: sweep3d|pop|alya|specfem3d|bt|cg")
 	ranks := flag.Int("ranks", 16, "number of ranks")
 	chunks := flag.Int("chunks", 4, "chunks per message in the overlapped traces")
-	bw := flag.Float64("bw", 250, "network bandwidth in MB/s")
-	latUs := flag.Float64("lat", 8, "network latency in microseconds")
-	buses := flag.Int("buses", -1, "global buses (-1 = Table I calibration, 0 = unlimited)")
+	pf := platformflag.Register(flag.CommandLine)
 	timeline := flag.Bool("timeline", false, "render ASCII timelines")
 	width := flag.Int("width", 100, "timeline width")
 	dump := flag.String("dump-traces", "", "directory to write the three .dim traces")
@@ -51,26 +51,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "overlapsim: unknown app %q (known: %v)\n", *app, apps.Names)
 		os.Exit(2)
 	}
-	cfg := network.TestbedFor(*app, *ranks)
-	cfg.BandwidthMBps = *bw
-	cfg.LatencySec = *latUs * 1e-6
-	if *buses >= 0 {
-		cfg.Buses = *buses
+	plat, err := pf.Resolve(*app, *ranks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "overlapsim: %v\n", err)
+		os.Exit(2)
+	}
+	if pf.DumpRequested() {
+		if err := pf.Dump(os.Stdout, plat); err != nil {
+			fmt.Fprintf(os.Stderr, "overlapsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	tCfg := tracer.DefaultConfig()
 	tCfg.Chunks = *chunks
 
 	ctx := context.Background()
 	eng := engine.New(*workers)
-	rep, err := core.AnalyzeWith(ctx, eng, entry.App, *ranks, cfg, tCfg)
+	rep, err := core.AnalyzeOn(ctx, eng, entry.App, *ranks, plat, tCfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "overlapsim: %v\n", err)
 		os.Exit(1)
 	}
 
 	fmt.Printf("app %s (%s)\n", *app, entry.Description)
-	fmt.Printf("platform: %d ranks, %.0f MB/s, %.1f us latency, %d buses, %d ports\n",
-		*ranks, cfg.BandwidthMBps, cfg.LatencySec*1e6, cfg.Buses, cfg.InPorts)
+	fmt.Printf("platform: %s\n", plat.Describe())
 	fmt.Printf("\n%-16s %12s %12s %12s %10s %12s\n", "flavor", "finish (s)", "wait (s)", "send-blk (s)", "messages", "bytes")
 	for _, f := range []core.Flavor{core.FlavorBase, core.FlavorReal, core.FlavorIdeal} {
 		r := rep.ResultOf(f)
@@ -83,6 +88,10 @@ func main() {
 			string(f), r.FinishSec, r.TotalWaitSec(), sendBlk, st.Messages, st.BytesSent)
 	}
 	fmt.Printf("\nspeedup real=%.3f ideal=%.3f\n", rep.SpeedupReal, rep.SpeedupIdeal)
+	if plat.MultiNode() {
+		fmt.Println()
+		fmt.Print(paraver.TrafficSummaryOf(rep.Base).Format())
+	}
 
 	fmt.Println("\npattern summary (Table II row):")
 	fmt.Print(pattern.FormatTableII([]*pattern.Analysis{rep.Patterns}))
@@ -99,7 +108,7 @@ func main() {
 		}
 	}
 	if *whatif {
-		wi, err := core.WhatIfWith(ctx, eng, entry.App, *ranks, cfg, tCfg)
+		wi, err := core.WhatIfOn(ctx, eng, entry.App, *ranks, plat, tCfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "overlapsim: what-if: %v\n", err)
 			os.Exit(1)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,14 +17,15 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
-	"repro/internal/network"
 	"repro/internal/paraver"
+	"repro/internal/platformflag"
 	"repro/internal/tracer"
 )
 
 func main() {
 	app := flag.String("app", "cg", "application: sweep3d|pop|alya|specfem3d|bt|cg")
 	ranks := flag.Int("ranks", 4, "number of ranks (Fig. 4 uses 4)")
+	pf := platformflag.Register(flag.CommandLine)
 	width := flag.Int("width", 120, "timeline width in characters")
 	comms := flag.Int("comms", 12, "communication lines to print (0 = none)")
 	out := flag.String("out", "", "directory for .prv files (optional)")
@@ -35,7 +37,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "paraverdump: unknown app %q (known: %v)\n", *app, apps.Names)
 		os.Exit(2)
 	}
-	rep, err := core.Analyze(entry.App, *ranks, network.TestbedFor(*app, *ranks), tracer.DefaultConfig())
+	plat, err := pf.Resolve(*app, *ranks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paraverdump: %v\n", err)
+		os.Exit(2)
+	}
+	if pf.DumpRequested() {
+		if err := pf.Dump(os.Stdout, plat); err != nil {
+			fmt.Fprintf(os.Stderr, "paraverdump: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	rep, err := core.AnalyzeOn(context.Background(), nil, entry.App, *ranks, plat, tracer.DefaultConfig())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paraverdump: %v\n", err)
 		os.Exit(1)
@@ -50,6 +64,10 @@ func main() {
 	fmt.Print(paraver.ProfileOf(rep.Base).Format())
 	fmt.Println("overlapped(real) profile:")
 	fmt.Print(paraver.ProfileOf(rep.Real).Format())
+	if plat.MultiNode() {
+		fmt.Println()
+		fmt.Print(paraver.TrafficSummaryOf(rep.Base).Format())
+	}
 
 	if *comms > 0 {
 		fmt.Println("overlapped(real) transfers (send -> match lines):")

@@ -10,6 +10,10 @@
 //	              the overlapped one at the reference bandwidth (Fig. 6c)
 //	-mode series  finish times of all three flavours across a bandwidth
 //	              sweep (the raw curves)
+//
+// The platform flags (-preset, -platform, -nodes, -map, ...) select the
+// platform whose *interconnect* the sweeps stress; -ref pins the reference
+// inter-node bandwidth.
 package main
 
 import (
@@ -24,7 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/metrics"
-	"repro/internal/network"
+	"repro/internal/platformflag"
 	"repro/internal/tracer"
 )
 
@@ -32,7 +36,8 @@ func main() {
 	app := flag.String("app", "cg", "application: sweep3d|pop|alya|specfem3d|bt|cg")
 	ranks := flag.Int("ranks", 16, "number of ranks")
 	mode := flag.String("mode", "relax", "relax|equiv|series")
-	refBW := flag.Float64("ref", 250, "reference bandwidth in MB/s")
+	pf := platformflag.Register(flag.CommandLine)
+	refBW := flag.Float64("ref", 0, "reference inter-node bandwidth in MB/s (0 = the resolved platform's; overrides -bw)")
 	bws := flag.String("bws", "2,8,31,125,250,500,2000,8000", "comma-separated bandwidths for -mode series")
 	workers := flag.Int("workers", 0, "experiment-engine worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -44,8 +49,23 @@ func main() {
 	}
 	ctx := context.Background()
 	eng := engine.New(*workers)
-	cfg := network.TestbedFor(*app, *ranks).WithBandwidth(*refBW)
-	rep, err := core.AnalyzeWith(ctx, eng, entry.App, *ranks, cfg, tracer.DefaultConfig())
+	plat, err := pf.Resolve(*app, *ranks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweepbw: %v\n", err)
+		os.Exit(2)
+	}
+	if *refBW > 0 {
+		plat = plat.WithInterBandwidth(*refBW)
+	}
+	ref := plat.Inter.BandwidthMBps
+	if pf.DumpRequested() {
+		if err := pf.Dump(os.Stdout, plat); err != nil {
+			fmt.Fprintf(os.Stderr, "sweepbw: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	rep, err := core.AnalyzeOn(ctx, eng, entry.App, *ranks, plat, tracer.DefaultConfig())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweepbw: %v\n", err)
 		os.Exit(1)
@@ -53,7 +73,7 @@ func main() {
 
 	switch *mode {
 	case "relax":
-		fmt.Printf("%s: non-overlapped finish at %.0f MB/s: %.6f s\n", *app, *refBW, rep.Base.FinishSec)
+		fmt.Printf("%s: non-overlapped finish at %.0f MB/s: %.6f s\n", *app, ref, rep.Base.FinishSec)
 		for _, f := range []core.Flavor{core.FlavorReal, core.FlavorIdeal} {
 			bw, err := rep.RelaxedBandwidth(f, metrics.DefaultSearch())
 			if err != nil {
@@ -61,19 +81,19 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("  %-14s may relax bandwidth to %s (%.1f%% of reference)\n",
-				f, metrics.FormatMBps(bw), 100*bw / *refBW)
+				f, metrics.FormatMBps(bw), 100*bw/ref)
 		}
 	case "equiv":
 		for _, f := range []core.Flavor{core.FlavorReal, core.FlavorIdeal} {
 			fmt.Printf("%s: overlapped (%s) finish at %.0f MB/s: %.6f s\n",
-				*app, f, *refBW, rep.ResultOf(f).FinishSec)
+				*app, f, ref, rep.ResultOf(f).FinishSec)
 			bw, err := rep.EquivalentBandwidth(f, metrics.DefaultSearch())
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "sweepbw: %v\n", err)
 				os.Exit(1)
 			}
 			fmt.Printf("  non-overlapped needs %s (%sx the reference)\n",
-				metrics.FormatMBps(bw), factor(metrics.BandwidthFactor(bw, *refBW)))
+				metrics.FormatMBps(bw), factor(metrics.BandwidthFactor(bw, ref)))
 		}
 	case "series":
 		var list []float64

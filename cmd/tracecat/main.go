@@ -8,7 +8,7 @@
 //	overlapsim -app cg -ranks 4 -dump-traces /tmp/cg
 //	tracecat /tmp/cg/cg-base.dim
 //	tracecat -convert binary -o /tmp/cg.bin /tmp/cg/cg-base.dim
-//	tracecat -replay -net platform.json /tmp/cg.bin
+//	tracecat -replay -platform cluster.json /tmp/cg.bin
 //	tracecat -head 20 /tmp/cg/cg-overlap-real.dim
 package main
 
@@ -27,7 +27,9 @@ func main() {
 	out := flag.String("o", "", "output path for -convert")
 	head := flag.Int("head", 0, "print the first N records of every rank")
 	replay := flag.Bool("replay", false, "replay the trace and print timings")
-	netFile := flag.String("net", "", "platform JSON for -replay (default: testbed sized to the trace)")
+	platFile := flag.String("platform", "", "platform JSON for -replay, flat or hierarchical schema (default: testbed sized to the trace)")
+	netFile := flag.String("net", "", "deprecated alias for -platform")
+	dumpPlat := flag.Bool("dump-platform", false, "print the replay platform as JSON and exit")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -110,31 +112,48 @@ func main() {
 		fmt.Printf("wrote %s (%s)\n", *out, *convert)
 	}
 
-	if *replay {
-		cfg := network.Testbed(tr.NumRanks)
-		if *netFile != "" {
-			f, err := os.Open(*netFile)
+	if *replay || *dumpPlat {
+		plat := network.Testbed(tr.NumRanks).Platform()
+		if path := *platFile; path != "" || *netFile != "" {
+			if path == "" {
+				path = *netFile
+			}
+			plat, err = network.ReadPlatformFile(path)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "tracecat: %v\n", err)
 				os.Exit(1)
 			}
-			cfg, err = network.ReadJSON(f)
-			f.Close()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "tracecat: %v\n", err)
-				os.Exit(1)
-			}
-			if cfg.Processors < tr.NumRanks {
-				cfg = cfg.WithProcessors(tr.NumRanks)
+			if plat.Processors < tr.NumRanks {
+				if plat.MultiNode() {
+					// Growing a hierarchical platform would silently
+					// change its rank packing; make the user resize it.
+					fmt.Fprintf(os.Stderr, "tracecat: platform %s has %d processors but trace has %d ranks\n",
+						path, plat.Processors, tr.NumRanks)
+					os.Exit(1)
+				}
+				// A flat (one-rank-per-node) platform grows one node per
+				// extra rank, preserving its contention model.
+				plat = plat.WithProcessors(tr.NumRanks).WithNodes(tr.NumRanks)
 			}
 		}
-		res, err := sim.Run(cfg, tr)
+		if *dumpPlat {
+			if err := plat.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "tracecat: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		res, err := sim.RunOn(plat, tr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tracecat: replay: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("replay: finish %.6f s, total wait %.6f s, total compute %.6f s\n",
 			res.FinishSec, res.TotalWaitSec(), res.TotalComputeSec())
+		if plat.MultiNode() {
+			ib, eb, im, em := res.TrafficSplit()
+			fmt.Printf("traffic: %d B intra-node (%d msgs), %d B inter-node (%d msgs)\n", ib, im, eb, em)
+		}
 		fmt.Print(sim.CriticalPathOf(res).Format(6))
 	}
 }

@@ -44,9 +44,15 @@ const (
 
 // Report is the full output of one analysis.
 type Report struct {
-	App     string
-	Ranks   int
+	App   string
+	Ranks int
+	// Network is the flat projection of the platform (the interconnect
+	// link class), kept for legacy reporting paths.
 	Network network.Config
+	// Platform is the full (possibly hierarchical) platform the report
+	// was computed on; all re-replays (bandwidth searches, sweeps) use
+	// it. For flat analyses it is the degenerate one-rank-per-node form.
+	Platform network.Platform
 
 	// Traces are the three generated traces (validated).
 	BaseTrace, RealTrace, IdealTrace *trace.Trace
@@ -85,17 +91,41 @@ func AnalyzeWith(ctx context.Context, eng *engine.Engine, app App, ranks int, ne
 	return AnalyzeRun(ctx, eng, run, netCfg)
 }
 
+// AnalyzeOn is Analyze on a hierarchical platform: rank placement and the
+// intra/inter link split shape every replay.
+func AnalyzeOn(ctx context.Context, eng *engine.Engine, app App, ranks int, plat network.Platform, tCfg tracer.Config) (*Report, error) {
+	if app.Kernel == nil {
+		return nil, fmt.Errorf("core: app %q has no kernel", app.Name)
+	}
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	run, err := tracer.Trace(app.Name, ranks, tCfg, app.Kernel)
+	if err != nil {
+		return nil, fmt.Errorf("core: tracing %q: %w", app.Name, err)
+	}
+	return AnalyzeRunOn(ctx, eng, run, plat)
+}
+
 // AnalyzeRun reconstructs the three execution flavours of an
-// already-traced run on the given platform — the fan-out half of Analyze.
-// Callers that trace through the engine's shared cache (engine.TraceCache)
-// use it to analyze one traced execution under many platforms without
-// re-tracing. The per-flavour trace builds and replays are one engine job
-// each.
+// already-traced run on the given flat platform — the fan-out half of
+// Analyze. Callers that trace through the engine's shared cache
+// (engine.TraceCache) use it to analyze one traced execution under many
+// platforms without re-tracing.
 func AnalyzeRun(ctx context.Context, eng *engine.Engine, run *tracer.Run, netCfg network.Config) (*Report, error) {
 	if err := netCfg.Validate(); err != nil {
 		return nil, err
 	}
-	rep := &Report{App: run.Name, Ranks: run.NumRanks, Network: netCfg}
+	return AnalyzeRunOn(ctx, eng, run, netCfg.Platform())
+}
+
+// AnalyzeRunOn is AnalyzeRun on a hierarchical platform. The per-flavour
+// trace builds and replays are one engine job each.
+func AnalyzeRunOn(ctx context.Context, eng *engine.Engine, run *tracer.Run, plat network.Platform) (*Report, error) {
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{App: run.Name, Ranks: run.NumRanks, Network: plat.InterConfig(), Platform: plat}
 	type flavorJob struct {
 		flavor Flavor
 		build  func() *trace.Trace
@@ -114,7 +144,7 @@ func AnalyzeRun(ctx context.Context, eng *engine.Engine, run *tracer.Run, netCfg
 		if err := tr.Validate(); err != nil {
 			return flavorOut{}, fmt.Errorf("core: generated trace invalid: %w", err)
 		}
-		res, err := sim.Run(netCfg, tr)
+		res, err := sim.RunOn(plat, tr)
 		if err != nil {
 			return flavorOut{}, fmt.Errorf("core: replaying %s: %w", jobs[i].flavor, err)
 		}
@@ -161,25 +191,33 @@ func (r *Report) ResultOf(f Flavor) *sim.Result {
 	}
 }
 
-// FinishAt replays one flavour's trace on a modified platform and returns
-// its makespan. It powers the bandwidth sweeps of Fig. 6b/6c.
+// FinishAt replays one flavour's trace on a modified flat platform and
+// returns its makespan. It powers the bandwidth sweeps of Fig. 6b/6c.
 func (r *Report) FinishAt(f Flavor, cfg network.Config) (float64, error) {
+	return r.FinishOn(f, cfg.Platform())
+}
+
+// FinishOn replays one flavour's trace on a modified hierarchical platform
+// and returns its makespan.
+func (r *Report) FinishOn(f Flavor, plat network.Platform) (float64, error) {
 	tr := r.TraceOf(f)
 	if tr == nil {
 		return 0, fmt.Errorf("core: unknown flavor %q", f)
 	}
-	res, err := sim.Run(cfg, tr)
+	res, err := sim.RunOn(plat, tr)
 	if err != nil {
 		return 0, err
 	}
 	return res.FinishSec, nil
 }
 
-// finishFunc adapts FinishAt to the metrics search interface, swapping only
-// the bandwidth of the report's platform.
+// finishFunc adapts FinishOn to the metrics search interface, swapping
+// only the interconnect bandwidth of the report's platform: on a
+// hierarchical platform the searches stress the interconnect while the
+// intra-node links stay fixed, which is the knob a cluster buyer controls.
 func (r *Report) finishFunc(f Flavor) metrics.FinishFunc {
 	return func(bw float64) (float64, error) {
-		return r.FinishAt(f, r.Network.WithBandwidth(bw))
+		return r.FinishOn(f, r.Platform.WithInterBandwidth(bw))
 	}
 }
 
@@ -219,7 +257,7 @@ func (r *Report) BandwidthSweep(f Flavor, bandwidths []float64) (*metrics.Series
 // input bandwidth order.
 func (r *Report) BandwidthSweepWith(ctx context.Context, eng *engine.Engine, f Flavor, bandwidths []float64) (*metrics.Series, error) {
 	fins, err := engine.Map(ctx, eng, len(bandwidths), func(ctx context.Context, i int) (float64, error) {
-		return r.FinishAt(f, r.Network.WithBandwidth(bandwidths[i]))
+		return r.FinishOn(f, r.Platform.WithInterBandwidth(bandwidths[i]))
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/tracer"
+)
+
+// Placement studies on hierarchical platforms: which rank→node mapping and
+// which node count serve an application best? Both sweeps trace the
+// application once and fan the per-point replays out across the experiment
+// engine, exactly like the chunk and bandwidth sweeps.
+
+// MappingPoint is one measurement of a placement sweep.
+type MappingPoint struct {
+	// Mapping is the placement this point measured.
+	Mapping network.Mapping
+	// BaseFinishSec and RealFinishSec are the non-overlapped and
+	// overlapped(real) makespans under this placement.
+	BaseFinishSec, RealFinishSec float64
+	// SpeedupReal compares the overlapped against the non-overlapped
+	// execution under this placement.
+	SpeedupReal float64
+	// IntraBytes and InterBytes split the non-overlapped traffic by link
+	// class — the quantity a placement optimizer drives up and down.
+	IntraBytes, InterBytes int64
+}
+
+// MappingSweep replays the application under each rank→node mapping on the
+// given platform. Points run concurrently on the default engine.
+func MappingSweep(app App, ranks int, plat network.Platform, tCfg tracer.Config, mappings []network.Mapping) ([]MappingPoint, error) {
+	return MappingSweepWith(context.Background(), nil, app, ranks, plat, tCfg, mappings)
+}
+
+// MappingSweepWith is MappingSweep under an explicit context and engine
+// (nil selects the default engine). The application is traced once; each
+// mapping rebuilds the base and overlapped traces from the shared run and
+// replays them on a pool worker.
+func MappingSweepWith(ctx context.Context, eng *engine.Engine, app App, ranks int, plat network.Platform, tCfg tracer.Config, mappings []network.Mapping) ([]MappingPoint, error) {
+	run, err := placementPrelude(app, ranks, plat, tCfg)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Map(ctx, eng, len(mappings), func(ctx context.Context, i int) (MappingPoint, error) {
+		return MappingPointOf(run, plat.WithMapping(mappings[i]))
+	})
+}
+
+// NodeCountPoint is one measurement of a node-count sweep.
+type NodeCountPoint struct {
+	// Nodes is the cluster size this point measured (ranks fixed).
+	Nodes int
+	// BaseFinishSec and RealFinishSec are the two makespans; SpeedupReal
+	// compares them.
+	BaseFinishSec, RealFinishSec float64
+	SpeedupReal                  float64
+	// IntraBytes and InterBytes split the non-overlapped traffic.
+	IntraBytes, InterBytes int64
+}
+
+// NodeCountSweep replays the application across cluster shapes: the same
+// ranks packed onto each of the given node counts under the platform's
+// mapping. Points run concurrently on the default engine.
+func NodeCountSweep(app App, ranks int, plat network.Platform, tCfg tracer.Config, nodeCounts []int) ([]NodeCountPoint, error) {
+	return NodeCountSweepWith(context.Background(), nil, app, ranks, plat, tCfg, nodeCounts)
+}
+
+// NodeCountSweepWith is NodeCountSweep under an explicit context and
+// engine (nil selects the default engine).
+func NodeCountSweepWith(ctx context.Context, eng *engine.Engine, app App, ranks int, plat network.Platform, tCfg tracer.Config, nodeCounts []int) ([]NodeCountPoint, error) {
+	for _, n := range nodeCounts {
+		if n <= 0 {
+			return nil, fmt.Errorf("core: node count %d", n)
+		}
+	}
+	run, err := placementPrelude(app, ranks, plat, tCfg)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Map(ctx, eng, len(nodeCounts), func(ctx context.Context, i int) (NodeCountPoint, error) {
+		mp, err := MappingPointOf(run, plat.WithNodes(nodeCounts[i]))
+		if err != nil {
+			return NodeCountPoint{}, fmt.Errorf("core: %d nodes: %w", nodeCounts[i], err)
+		}
+		return NodeCountPoint{
+			Nodes:         nodeCounts[i],
+			BaseFinishSec: mp.BaseFinishSec,
+			RealFinishSec: mp.RealFinishSec,
+			SpeedupReal:   mp.SpeedupReal,
+			IntraBytes:    mp.IntraBytes,
+			InterBytes:    mp.InterBytes,
+		}, nil
+	})
+}
+
+// placementPrelude validates the platform and traces the application once;
+// both placement sweeps share it.
+func placementPrelude(app App, ranks int, plat network.Platform, tCfg tracer.Config) (*tracer.Run, error) {
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	if ranks > plat.Processors {
+		return nil, fmt.Errorf("core: %d ranks exceed the platform's %d processors", ranks, plat.Processors)
+	}
+	run, err := tracer.Trace(app.Name, ranks, tCfg, app.Kernel)
+	if err != nil {
+		return nil, fmt.Errorf("core: placement tracing %q: %w", app.Name, err)
+	}
+	return run, nil
+}
+
+// MappingPointOf replays the base and overlapped(real) traces of one
+// already-traced run on one platform variant — the unit of both sweeps,
+// exported for callers that reuse a run from the engine's trace cache.
+func MappingPointOf(run *tracer.Run, plat network.Platform) (MappingPoint, error) {
+	if err := plat.Validate(); err != nil {
+		return MappingPoint{}, err
+	}
+	base := run.BaseTrace()
+	if err := base.Validate(); err != nil {
+		return MappingPoint{}, err
+	}
+	baseRes, err := sim.RunOn(plat, base)
+	if err != nil {
+		return MappingPoint{}, fmt.Errorf("core: mapping %s base: %w", plat.Mapping, err)
+	}
+	real := run.OverlapReal()
+	if err := real.Validate(); err != nil {
+		return MappingPoint{}, err
+	}
+	realRes, err := sim.RunOn(plat, real)
+	if err != nil {
+		return MappingPoint{}, fmt.Errorf("core: mapping %s real: %w", plat.Mapping, err)
+	}
+	ib, eb, _, _ := baseRes.TrafficSplit()
+	return MappingPoint{
+		Mapping:       plat.Mapping,
+		BaseFinishSec: baseRes.FinishSec,
+		RealFinishSec: realRes.FinishSec,
+		SpeedupReal:   metrics.Speedup(baseRes.FinishSec, realRes.FinishSec),
+		IntraBytes:    ib,
+		InterBytes:    eb,
+	}, nil
+}
+
+// FormatMappingPoints renders a placement sweep as a table.
+func FormatMappingPoints(pts []MappingPoint) string {
+	out := fmt.Sprintf("%-12s %14s %14s %10s %14s %14s\n",
+		"mapping", "base (s)", "overlap (s)", "speedup", "intra bytes", "inter bytes")
+	for _, p := range pts {
+		out += fmt.Sprintf("%-12s %14.6f %14.6f %10.3f %14d %14d\n",
+			p.Mapping, p.BaseFinishSec, p.RealFinishSec, p.SpeedupReal, p.IntraBytes, p.InterBytes)
+	}
+	return out
+}
+
+// FormatNodeCountPoints renders a node-count sweep as a table.
+func FormatNodeCountPoints(pts []NodeCountPoint) string {
+	out := fmt.Sprintf("%-8s %14s %14s %10s %14s %14s\n",
+		"nodes", "base (s)", "overlap (s)", "speedup", "intra bytes", "inter bytes")
+	for _, p := range pts {
+		out += fmt.Sprintf("%-8d %14.6f %14.6f %10.3f %14d %14d\n",
+			p.Nodes, p.BaseFinishSec, p.RealFinishSec, p.SpeedupReal, p.IntraBytes, p.InterBytes)
+	}
+	return out
+}

@@ -55,11 +55,34 @@ func WhatIfWith(ctx context.Context, eng *engine.Engine, app App, ranks int, net
 	return WhatIfRun(ctx, eng, run, netCfg)
 }
 
+// WhatIfOn is WhatIf on a hierarchical platform.
+func WhatIfOn(ctx context.Context, eng *engine.Engine, app App, ranks int, plat network.Platform, tCfg tracer.Config) (*WhatIfReport, error) {
+	if app.Kernel == nil {
+		return nil, fmt.Errorf("core: app %q has no kernel", app.Name)
+	}
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	run, err := tracer.Trace(app.Name, ranks, tCfg, app.Kernel)
+	if err != nil {
+		return nil, fmt.Errorf("core: what-if tracing %q: %w", app.Name, err)
+	}
+	return WhatIfRunOn(ctx, eng, run, plat)
+}
+
 // WhatIfRun is the fan-out half of WhatIf for an already-traced run —
 // the entry point for callers that trace through the engine's shared
 // cache and reuse one run across several studies.
 func WhatIfRun(ctx context.Context, eng *engine.Engine, run *tracer.Run, netCfg network.Config) (*WhatIfReport, error) {
 	if err := netCfg.Validate(); err != nil {
+		return nil, err
+	}
+	return WhatIfRunOn(ctx, eng, run, netCfg.Platform())
+}
+
+// WhatIfRunOn is WhatIfRun on a hierarchical platform.
+func WhatIfRunOn(ctx context.Context, eng *engine.Engine, run *tracer.Run, plat network.Platform) (*WhatIfReport, error) {
+	if err := plat.Validate(); err != nil {
 		return nil, err
 	}
 	refs, err := engine.Map(ctx, eng, 2, func(ctx context.Context, i int) (*sim.Result, error) {
@@ -70,7 +93,7 @@ func WhatIfRun(ctx context.Context, eng *engine.Engine, run *tracer.Run, netCfg 
 		if err := tr.Validate(); err != nil {
 			return nil, err
 		}
-		return sim.Run(netCfg, tr)
+		return sim.RunOn(plat, tr)
 	})
 	if err != nil {
 		return nil, err
@@ -88,7 +111,7 @@ func WhatIfRun(ctx context.Context, eng *engine.Engine, run *tracer.Run, netCfg 
 		if err := tr.Validate(); err != nil {
 			return BufferPotential{}, fmt.Errorf("core: selective trace for %q: %w", name, err)
 		}
-		res, err := sim.Run(netCfg, tr)
+		res, err := sim.RunOn(plat, tr)
 		if err != nil {
 			return BufferPotential{}, fmt.Errorf("core: replaying selective %q: %w", name, err)
 		}

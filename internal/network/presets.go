@@ -1,10 +1,12 @@
 package network
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"sort"
 )
 
@@ -12,51 +14,164 @@ import (
 // configuration file; this file provides the equivalent. The presets cover
 // the networks the paper's introduction discusses — the Myrinet testbed and
 // the InfiniBand QDR generation whose cost motivates the study — plus a
-// commodity Ethernet point for contrast.
+// commodity Ethernet point for contrast and two hierarchical multi-node
+// shapes for placement studies.
 
-// Preset returns a named platform configuration. Known names:
-//
-//	marenostrum   the paper's testbed: 250 MB/s, 8 us (default elsewhere)
-//	ib-qdr        InfiniBand QDR: 8 Gb/s effective per link = 1000 MB/s,
-//	              1.3 us MPI latency (the network the intro prices out)
-//	ib-qdr-4x     four aggregated QDR links (32 Gb/s = 4000 MB/s)
-//	gige          commodity gigabit Ethernet: 125 MB/s, 50 us
-//	ideal         zero latency, infinite bandwidth, no contention
+// presetEntry is one row of the preset table. Flat presets define flat;
+// hierarchical presets define platform. Every entry is reachable through
+// PlatformPreset; only flat entries are reachable through Preset. Keeping
+// names, docs, and builders in one table means PresetNames can never drift
+// from what Preset and PlatformPreset resolve.
+type presetEntry struct {
+	name     string
+	describe string
+	flat     func(processors int) Config
+	platform func(processors int) Platform
+}
+
+// presetTable is the single source of truth for all presets.
+var presetTable = []presetEntry{
+	{
+		name:     "marenostrum",
+		describe: "the paper's testbed: 250 MB/s, 8 us (default elsewhere)",
+		flat:     Testbed,
+	},
+	{
+		name:     "ib-qdr",
+		describe: "InfiniBand QDR: 1000 MB/s effective, 1.3 us MPI latency",
+		flat: func(p int) Config {
+			c := Testbed(p)
+			c.BandwidthMBps = 1000
+			c.LatencySec = 1.3e-6
+			return c
+		},
+	},
+	{
+		name:     "ib-qdr-4x",
+		describe: "four aggregated QDR links (4000 MB/s)",
+		flat: func(p int) Config {
+			c := Testbed(p)
+			c.BandwidthMBps = 4000
+			c.LatencySec = 1.3e-6
+			return c
+		},
+	},
+	{
+		name:     "gige",
+		describe: "commodity gigabit Ethernet: 125 MB/s, 50 us",
+		flat: func(p int) Config {
+			c := Testbed(p)
+			c.BandwidthMBps = 125
+			c.LatencySec = 50e-6
+			return c
+		},
+	},
+	{
+		name:     "ideal",
+		describe: "zero latency, infinite bandwidth, no contention",
+		flat: func(p int) Config {
+			c := Testbed(p)
+			c.BandwidthMBps = math.Inf(1)
+			c.LatencySec = 0
+			c.InPorts = 0
+			c.OutPorts = 0
+			c.Buses = 0
+			return c
+		},
+	},
+	{
+		name:     "marenostrum-4x",
+		describe: "the testbed as 4-way nodes: shared memory inside a blade, Myrinet across",
+		platform: func(p int) Platform {
+			pl := Testbed(p).Platform()
+			pl.Nodes = nodesFor(p, 4)
+			pl.Intra = Link{LatencySec: 0.5e-6, BandwidthMBps: 6000}
+			pl.IntraBuses = 4
+			return pl
+		},
+	},
+	{
+		name:     "fatnode-smp",
+		describe: "modern fat nodes: 16 ranks/node over shared memory, IB QDR NICs between",
+		platform: func(p int) Platform {
+			pl := Testbed(p).Platform()
+			pl.Nodes = nodesFor(p, 16)
+			pl.Intra = Link{LatencySec: 0.2e-6, BandwidthMBps: 12000}
+			pl.IntraBuses = 0
+			pl.Inter = Link{LatencySec: 1.3e-6, BandwidthMBps: 1000}
+			pl.InPorts = 2
+			pl.OutPorts = 2
+			return pl
+		},
+	},
+}
+
+// nodesFor computes how many nodes hold processors ranks at perNode each.
+func nodesFor(processors, perNode int) int {
+	n := (processors + perNode - 1) / perNode
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func presetByName(name string) (presetEntry, bool) {
+	for _, e := range presetTable {
+		if e.name == name {
+			return e, true
+		}
+	}
+	return presetEntry{}, false
+}
+
+// Preset returns a named flat platform configuration; PresetNames lists
+// what resolves. Hierarchical presets (marenostrum-4x, fatnode-smp) are
+// only reachable through PlatformPreset and are rejected here with a hint.
 func Preset(name string, processors int) (Config, error) {
-	base := Testbed(processors)
-	switch name {
-	case "marenostrum":
-		return base, nil
-	case "ib-qdr":
-		base.BandwidthMBps = 1000
-		base.LatencySec = 1.3e-6
-		return base, nil
-	case "ib-qdr-4x":
-		base.BandwidthMBps = 4000
-		base.LatencySec = 1.3e-6
-		return base, nil
-	case "gige":
-		base.BandwidthMBps = 125
-		base.LatencySec = 50e-6
-		return base, nil
-	case "ideal":
-		base.BandwidthMBps = math.Inf(1)
-		base.LatencySec = 0
-		base.InPorts = 0
-		base.OutPorts = 0
-		base.Buses = 0
-		return base, nil
-	default:
+	e, ok := presetByName(name)
+	if !ok {
 		return Config{}, fmt.Errorf("network: unknown preset %q (known: %v)", name, PresetNames())
 	}
+	if e.flat == nil {
+		return Config{}, fmt.Errorf("network: preset %q is hierarchical; resolve it with PlatformPreset", name)
+	}
+	return e.flat(processors), nil
+}
+
+// PlatformPreset returns a named platform — flat presets in their
+// degenerate one-rank-per-node form, hierarchical presets as built.
+func PlatformPreset(name string, processors int) (Platform, error) {
+	e, ok := presetByName(name)
+	if !ok {
+		return Platform{}, fmt.Errorf("network: unknown preset %q (known: %v)", name, PresetNames())
+	}
+	if e.platform != nil {
+		return e.platform(processors), nil
+	}
+	return e.flat(processors).Platform(), nil
 }
 
 // PresetNames lists the available presets, sorted.
 func PresetNames() []string {
-	names := []string{"marenostrum", "ib-qdr", "ib-qdr-4x", "gige", "ideal"}
+	names := make([]string, len(presetTable))
+	for i, e := range presetTable {
+		names[i] = e.name
+	}
 	sort.Strings(names)
 	return names
 }
+
+// PresetDescriptions returns a name→summary table for CLI help text.
+func PresetDescriptions() map[string]string {
+	m := make(map[string]string, len(presetTable))
+	for _, e := range presetTable {
+		m[e.name] = e.describe
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// JSON persistence
 
 // configJSON mirrors Config for serialization; infinite bandwidth is
 // encoded as the string "inf" since JSON has no Inf literal.
@@ -77,17 +192,13 @@ func (c Config) WriteJSON(w io.Writer) error {
 	j := configJSON{
 		Processors:          c.Processors,
 		LatencySec:          c.LatencySec,
+		BandwidthMBps:       encodeBW(c.BandwidthMBps),
 		Buses:               c.Buses,
 		InPorts:             c.InPorts,
 		OutPorts:            c.OutPorts,
 		MIPS:                c.MIPS,
 		EagerThresholdBytes: c.EagerThresholdBytes,
 		RelativeSpeed:       c.RelativeSpeed,
-	}
-	if math.IsInf(c.BandwidthMBps, 1) {
-		j.BandwidthMBps = "inf"
-	} else {
-		j.BandwidthMBps = c.BandwidthMBps
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -112,21 +223,199 @@ func ReadJSON(r io.Reader) (Config, error) {
 		EagerThresholdBytes: j.EagerThresholdBytes,
 		RelativeSpeed:       j.RelativeSpeed,
 	}
-	switch bw := j.BandwidthMBps.(type) {
-	case string:
-		if bw != "inf" {
-			return Config{}, fmt.Errorf("network: bad bandwidth %q", bw)
-		}
-		c.BandwidthMBps = math.Inf(1)
-	case float64:
-		c.BandwidthMBps = bw
-	case nil:
-		return Config{}, fmt.Errorf("network: missing bandwidth")
-	default:
-		return Config{}, fmt.Errorf("network: bad bandwidth type %T", bw)
+	bw, err := decodeBW(j.BandwidthMBps)
+	if err != nil {
+		return Config{}, err
 	}
+	c.BandwidthMBps = bw
 	if err := c.Validate(); err != nil {
 		return Config{}, err
 	}
 	return c, nil
+}
+
+func encodeBW(bw float64) any {
+	if math.IsInf(bw, 1) {
+		return "inf"
+	}
+	return bw
+}
+
+func decodeBW(v any) (float64, error) {
+	switch bw := v.(type) {
+	case string:
+		if bw != "inf" {
+			return 0, fmt.Errorf("network: bad bandwidth %q", bw)
+		}
+		return math.Inf(1), nil
+	case float64:
+		return bw, nil
+	case nil:
+		return 0, fmt.Errorf("network: missing bandwidth")
+	default:
+		return 0, fmt.Errorf("network: bad bandwidth type %T", bw)
+	}
+}
+
+// linkJSON mirrors Link for serialization.
+type linkJSON struct {
+	LatencySec    float64 `json:"latency_sec"`
+	BandwidthMBps any     `json:"bandwidth_mbps"`
+}
+
+func (l Link) toJSON() linkJSON {
+	return linkJSON{LatencySec: l.LatencySec, BandwidthMBps: encodeBW(l.BandwidthMBps)}
+}
+
+func (j linkJSON) toLink() (Link, error) {
+	bw, err := decodeBW(j.BandwidthMBps)
+	if err != nil {
+		return Link{}, err
+	}
+	return Link{LatencySec: j.LatencySec, BandwidthMBps: bw}, nil
+}
+
+// platformJSON mirrors Platform. The mapping is either the string "block",
+// the string "rr", or an explicit per-rank node array.
+type platformJSON struct {
+	Processors          int      `json:"processors"`
+	Nodes               int      `json:"nodes"`
+	Mapping             any      `json:"mapping"`
+	Intra               linkJSON `json:"intra"`
+	IntraBuses          int      `json:"intra_buses"`
+	Inter               linkJSON `json:"inter"`
+	Buses               int      `json:"buses"`
+	InPorts             int      `json:"in_ports"`
+	OutPorts            int      `json:"out_ports"`
+	MIPS                float64  `json:"mips"`
+	EagerThresholdBytes int64    `json:"eager_threshold_bytes"`
+	RelativeSpeed       float64  `json:"relative_speed"`
+	CongestionFactor    float64  `json:"congestion_factor"`
+}
+
+// WriteJSON serializes the platform.
+func (p Platform) WriteJSON(w io.Writer) error {
+	var mapping any
+	switch p.Mapping.Kind {
+	case MapBlock:
+		mapping = "block"
+	case MapRoundRobin:
+		mapping = "rr"
+	case MapExplicit:
+		mapping = p.Mapping.Explicit
+	}
+	j := platformJSON{
+		Processors:          p.Processors,
+		Nodes:               p.Nodes,
+		Mapping:             mapping,
+		Intra:               p.Intra.toJSON(),
+		IntraBuses:          p.IntraBuses,
+		Inter:               p.Inter.toJSON(),
+		Buses:               p.Buses,
+		InPorts:             p.InPorts,
+		OutPorts:            p.OutPorts,
+		MIPS:                p.MIPS,
+		EagerThresholdBytes: p.EagerThresholdBytes,
+		RelativeSpeed:       p.RelativeSpeed,
+		CongestionFactor:    p.CongestionFactor,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(j)
+}
+
+// ReadPlatformJSON parses a platform written by Platform.WriteJSON and
+// validates it.
+func ReadPlatformJSON(r io.Reader) (Platform, error) {
+	var j platformJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
+		return Platform{}, fmt.Errorf("network: parse platform: %w", err)
+	}
+	intra, err := j.Intra.toLink()
+	if err != nil {
+		return Platform{}, fmt.Errorf("network: intra link: %w", err)
+	}
+	inter, err := j.Inter.toLink()
+	if err != nil {
+		return Platform{}, fmt.Errorf("network: inter link: %w", err)
+	}
+	p := Platform{
+		Processors:          j.Processors,
+		Nodes:               j.Nodes,
+		Intra:               intra,
+		IntraBuses:          j.IntraBuses,
+		Inter:               inter,
+		Buses:               j.Buses,
+		InPorts:             j.InPorts,
+		OutPorts:            j.OutPorts,
+		MIPS:                j.MIPS,
+		EagerThresholdBytes: j.EagerThresholdBytes,
+		RelativeSpeed:       j.RelativeSpeed,
+		CongestionFactor:    j.CongestionFactor,
+	}
+	switch m := j.Mapping.(type) {
+	case string:
+		p.Mapping, err = ParseMapping(m)
+		if err != nil {
+			return Platform{}, err
+		}
+	case []any:
+		nodes := make([]int, len(m))
+		for i, v := range m {
+			f, ok := v.(float64)
+			if !ok || f != math.Trunc(f) {
+				return Platform{}, fmt.Errorf("network: bad mapping entry %v", v)
+			}
+			nodes[i] = int(f)
+		}
+		p.Mapping = ExplicitMapping(nodes)
+	case nil:
+		p.Mapping = BlockMapping()
+	default:
+		return Platform{}, fmt.Errorf("network: bad mapping type %T", m)
+	}
+	if err := p.Validate(); err != nil {
+		return Platform{}, err
+	}
+	return p, nil
+}
+
+// ReadAnyPlatform parses either a hierarchical platform file (the
+// Platform.WriteJSON schema, recognized by its "nodes" key) or a flat
+// Config file (lifted to its degenerate platform). This is the decoder
+// behind every CLI's -platform flag, so both generations of files work
+// everywhere.
+func ReadAnyPlatform(r io.Reader) (Platform, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return Platform{}, fmt.Errorf("network: read platform: %w", err)
+	}
+	var probe map[string]any
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return Platform{}, fmt.Errorf("network: parse platform: %w", err)
+	}
+	if _, hier := probe["nodes"]; hier {
+		return ReadPlatformJSON(bytes.NewReader(raw))
+	}
+	c, err := ReadJSON(bytes.NewReader(raw))
+	if err != nil {
+		return Platform{}, err
+	}
+	return c.Platform(), nil
+}
+
+// ReadPlatformFile opens and parses a platform file via ReadAnyPlatform.
+func ReadPlatformFile(path string) (Platform, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Platform{}, fmt.Errorf("network: %w", err)
+	}
+	defer f.Close()
+	p, err := ReadAnyPlatform(f)
+	if err != nil {
+		return Platform{}, fmt.Errorf("network: %s: %w", path, err)
+	}
+	return p, nil
 }

@@ -7,16 +7,65 @@ import (
 )
 
 func TestPresetsAllValid(t *testing.T) {
+	// Every listed name must resolve through PlatformPreset and validate;
+	// the name list and the builders live in one table, so this also
+	// proves they cannot drift.
 	for _, name := range PresetNames() {
-		cfg, err := Preset(name, 16)
+		p, err := PlatformPreset(name, 16)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", name, err)
+		}
+		if p.Processors != 16 {
+			t.Fatalf("%s: processors=%d", name, p.Processors)
+		}
+		if desc := PresetDescriptions()[name]; desc == "" {
+			t.Fatalf("%s: no description", name)
+		}
+		// Flat presets must also resolve through the legacy entry point
+		// and agree with their degenerate platform form.
+		cfg, err := Preset(name, 16)
+		if err != nil {
+			if !strings.Contains(err.Error(), "hierarchical") {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !p.MultiNode() {
+				t.Fatalf("%s rejected as hierarchical but is single-rank-per-node", name)
+			}
+			continue
 		}
 		if err := cfg.Validate(); err != nil {
 			t.Fatalf("%s invalid: %v", name, err)
 		}
-		if cfg.Processors != 16 {
-			t.Fatalf("%s: processors=%d", name, cfg.Processors)
+		if got := cfg.Platform(); got.Inter != p.Inter || got.Nodes != p.Nodes {
+			t.Fatalf("%s: flat and platform forms disagree: %+v vs %+v", name, got, p)
+		}
+	}
+}
+
+func TestPresetHierarchicalShapes(t *testing.T) {
+	for _, tc := range []struct {
+		name         string
+		procs, nodes int
+		intraFaster  bool
+	}{
+		{"marenostrum-4x", 16, 4, true},
+		{"fatnode-smp", 64, 4, true},
+	} {
+		p, err := PlatformPreset(tc.name, tc.procs)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if p.Nodes != tc.nodes {
+			t.Errorf("%s: nodes=%d want %d", tc.name, p.Nodes, tc.nodes)
+		}
+		if !p.MultiNode() {
+			t.Errorf("%s: not multi-node", tc.name)
+		}
+		if tc.intraFaster && !(p.Intra.BandwidthMBps > p.Inter.BandwidthMBps && p.Intra.LatencySec < p.Inter.LatencySec) {
+			t.Errorf("%s: intra link not faster than inter: %+v vs %+v", tc.name, p.Intra, p.Inter)
 		}
 	}
 }

@@ -202,8 +202,10 @@ func WritePRV(w io.Writer, res *sim.Result, name string) error {
 
 // CommLines summarizes the communication records as human-readable arrows,
 // useful to inspect how far sends were advanced (the "longer
-// synchronization lines" observation on Figure 4). Limit bounds the output;
-// nonpositive means all.
+// synchronization lines" observation on Figure 4). Transfers that stayed
+// inside a node on a hierarchical platform carry an [intra] marker; flat
+// replays print exactly as before. Limit bounds the output; nonpositive
+// means all.
 func CommLines(res *sim.Result, limit int) string {
 	var b strings.Builder
 	n := len(res.Comms)
@@ -212,8 +214,12 @@ func CommLines(res *sim.Result, limit int) string {
 	}
 	for i := 0; i < n; i++ {
 		c := res.Comms[i]
-		fmt.Fprintf(&b, "P%d --(%dB tag %d chunk %d)--> P%d   send %.6fs arrive %.6fs match %.6fs (line %.6fs)\n",
-			c.Src, c.Bytes, c.Tag, c.Chunk, c.Dst, c.SendT, c.ArriveT, c.MatchT, c.MatchT-c.SendT)
+		class := ""
+		if c.Intra {
+			class = " [intra]"
+		}
+		fmt.Fprintf(&b, "P%d --(%dB tag %d chunk %d)--> P%d   send %.6fs arrive %.6fs match %.6fs (line %.6fs)%s\n",
+			c.Src, c.Bytes, c.Tag, c.Chunk, c.Dst, c.SendT, c.ArriveT, c.MatchT, c.MatchT-c.SendT, class)
 	}
 	if n < len(res.Comms) {
 		fmt.Fprintf(&b, "... %d more\n", len(res.Comms)-n)

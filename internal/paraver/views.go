@@ -263,3 +263,55 @@ type PairTraffic struct {
 	Bytes    int64
 	Messages int
 }
+
+// TrafficClassSummary aggregates one replay's traffic by link class — the
+// intra- vs inter-node annotation of the hierarchical platform model.
+type TrafficClassSummary struct {
+	IntraBytes, InterBytes int64
+	IntraMsgs, InterMsgs   int
+	// IntraLineSec and InterLineSec are the mean send→match line lengths
+	// per class (0 when the class carried no traffic).
+	IntraLineSec, InterLineSec float64
+}
+
+// TrafficSummaryOf classifies a result's transfers by locality.
+func TrafficSummaryOf(res *sim.Result) TrafficClassSummary {
+	var s TrafficClassSummary
+	var intraLine, interLine float64
+	for _, c := range res.Comms {
+		line := c.MatchT - c.SendT
+		if c.Intra {
+			s.IntraBytes += c.Bytes
+			s.IntraMsgs++
+			intraLine += line
+		} else {
+			s.InterBytes += c.Bytes
+			s.InterMsgs++
+			interLine += line
+		}
+	}
+	if s.IntraMsgs > 0 {
+		s.IntraLineSec = intraLine / float64(s.IntraMsgs)
+	}
+	if s.InterMsgs > 0 {
+		s.InterLineSec = interLine / float64(s.InterMsgs)
+	}
+	return s
+}
+
+// Format renders the class split as a small table.
+func (s TrafficClassSummary) Format() string {
+	var b strings.Builder
+	total := s.IntraBytes + s.InterBytes
+	pct := func(v int64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(v) / float64(total)
+	}
+	b.WriteString("traffic by link class (hierarchical platform)\n")
+	fmt.Fprintf(&b, "%-12s %10s %14s %8s %14s\n", "class", "messages", "bytes", "share", "avg line (s)")
+	fmt.Fprintf(&b, "%-12s %10d %14d %7.1f%% %14.6f\n", "intra-node", s.IntraMsgs, s.IntraBytes, pct(s.IntraBytes), s.IntraLineSec)
+	fmt.Fprintf(&b, "%-12s %10d %14d %7.1f%% %14.6f\n", "inter-node", s.InterMsgs, s.InterBytes, pct(s.InterBytes), s.InterLineSec)
+	return b.String()
+}

@@ -158,3 +158,60 @@ func TestEfficiencySlicesDegenerate(t *testing.T) {
 		t.Fatal("empty slices format")
 	}
 }
+
+// hierRingResult simulates the same ring on a 2-node platform so both
+// traffic classes appear.
+func hierRingResult(t *testing.T, ranks int) *sim.Result {
+	t.Helper()
+	tr := trace.New("ring", "base", ranks)
+	for r := 0; r < ranks; r++ {
+		next := (r + 1) % ranks
+		prev := (r - 1 + ranks) % ranks
+		tr.Append(r, trace.Record{Kind: trace.KindCompute, Instr: 1_000_000})
+		tr.Append(r, trace.Record{Kind: trace.KindISend, Peer: next, Tag: 0, Bytes: 10_000})
+		tr.Append(r, trace.Record{Kind: trace.KindRecv, Peer: prev, Tag: 0, Bytes: 10_000})
+	}
+	cfg := network.Config{Processors: ranks, LatencySec: 1e-5, BandwidthMBps: 100, MIPS: 1000, EagerThresholdBytes: -1, RelativeSpeed: 1}
+	p := cfg.Platform().WithNodes(2)
+	p.Intra = network.Link{LatencySec: 1e-6, BandwidthMBps: 5000}
+	res, err := sim.RunOn(p, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTrafficSummaryClassifies(t *testing.T) {
+	res := hierRingResult(t, 8)
+	s := TrafficSummaryOf(res)
+	// An 8-rank ring on 2 block-mapped nodes: 6 hops stay inside a node,
+	// 2 hops (3->4 and 7->0) cross the interconnect.
+	if s.IntraMsgs != 6 || s.InterMsgs != 2 {
+		t.Fatalf("split %d intra / %d inter, want 6/2", s.IntraMsgs, s.InterMsgs)
+	}
+	if s.IntraBytes != 60_000 || s.InterBytes != 20_000 {
+		t.Fatalf("bytes %d intra / %d inter", s.IntraBytes, s.InterBytes)
+	}
+	if s.IntraLineSec <= 0 || s.InterLineSec <= 0 {
+		t.Fatalf("line lengths not populated: %+v", s)
+	}
+	out := s.Format()
+	for _, want := range []string{"intra-node", "inter-node", "75.0%", "25.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCommLinesAnnotateIntra(t *testing.T) {
+	res := hierRingResult(t, 8)
+	out := CommLines(res, 0)
+	if strings.Count(out, "[intra]") != 6 {
+		t.Fatalf("want 6 [intra] markers:\n%s", out)
+	}
+	// Flat replays must not grow markers.
+	flat := ringResult(t, 4, 1)
+	if strings.Contains(CommLines(flat, 0), "[intra]") {
+		t.Fatal("flat replay annotated as intra-node")
+	}
+}

@@ -1,0 +1,108 @@
+// Package platformflag is the one place the CLIs declare and resolve their
+// platform flags, so every command spells -platform, -preset, -nodes,
+// -map, -bw, -lat, -buses, and -dump-platform the same way and resolves
+// them in the same precedence order:
+//
+//  1. -platform file.json loads a platform file (hierarchical or flat
+//     schema, see network.ReadAnyPlatform);
+//  2. otherwise -preset resolves a named preset (flat presets in their
+//     degenerate form, hierarchical presets as built);
+//  3. otherwise the app-calibrated testbed (network.TestbedFor) applies;
+//  4. the -nodes, -map, -bw (inter bandwidth), -lat (inter latency, us),
+//     and -buses (global pool; -1 keeps the calibrated value) overrides
+//     are applied on top, in that order;
+//  5. -dump-platform prints the resolved platform as JSON so a run's
+//     exact platform can be captured into a file and replayed anywhere.
+package platformflag
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/network"
+)
+
+// Flags holds the registered flag values until Resolve.
+type Flags struct {
+	preset  *string
+	file    *string
+	nodes   *int
+	mapping *string
+	bw      *float64
+	latUs   *float64
+	buses   *int
+	dump    *bool
+}
+
+// Register declares the shared platform flags on fs (pass
+// flag.CommandLine in a main).
+func Register(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		preset:  fs.String("preset", "", "platform preset: "+fmt.Sprint(network.PresetNames())+" (default: app-calibrated testbed)"),
+		file:    fs.String("platform", "", "platform JSON file (hierarchical or flat schema; overrides -preset)"),
+		nodes:   fs.Int("nodes", 0, "re-cluster the platform onto N nodes (0 = keep)"),
+		mapping: fs.String("map", "", "rank->node mapping: block|rr|explicit list like 0,0,1,1 (default: keep)"),
+		bw:      fs.Float64("bw", 0, "override inter-node bandwidth in MB/s (0 = keep)"),
+		latUs:   fs.Float64("lat", -1, "override inter-node latency in microseconds (negative = keep)"),
+		buses:   fs.Int("buses", -1, "override global buses, 0 = unlimited (-1 = keep calibration)"),
+		dump:    fs.Bool("dump-platform", false, "print the resolved platform as JSON and exit"),
+	}
+}
+
+// Resolve builds the active platform for the given application (used for
+// Table I bus calibration when no preset or file is named) and rank count.
+func (f *Flags) Resolve(app string, ranks int) (network.Platform, error) {
+	var plat network.Platform
+	switch {
+	case *f.file != "":
+		p, err := network.ReadPlatformFile(*f.file)
+		if err != nil {
+			return network.Platform{}, err
+		}
+		if p.Processors < ranks {
+			return network.Platform{}, fmt.Errorf("platform file %s has %d processors, need %d", *f.file, p.Processors, ranks)
+		}
+		plat = p
+	case *f.preset != "":
+		p, err := network.PlatformPreset(*f.preset, ranks)
+		if err != nil {
+			return network.Platform{}, err
+		}
+		plat = p
+	default:
+		plat = network.TestbedFor(app, ranks).Platform()
+	}
+	if *f.nodes > 0 {
+		plat = plat.WithNodes(*f.nodes)
+	}
+	if *f.mapping != "" {
+		m, err := network.ParseMapping(*f.mapping)
+		if err != nil {
+			return network.Platform{}, err
+		}
+		plat = plat.WithMapping(m)
+	}
+	if *f.bw > 0 {
+		plat = plat.WithInterBandwidth(*f.bw)
+	}
+	if *f.latUs >= 0 {
+		plat.Inter.LatencySec = *f.latUs * 1e-6
+	}
+	if *f.buses >= 0 {
+		plat.Buses = *f.buses
+	}
+	if err := plat.Validate(); err != nil {
+		return network.Platform{}, err
+	}
+	return plat, nil
+}
+
+// DumpRequested reports whether -dump-platform was set; mains that see
+// true should Dump and exit without running.
+func (f *Flags) DumpRequested() bool { return *f.dump }
+
+// Dump writes the resolved platform as JSON.
+func (f *Flags) Dump(w io.Writer, p network.Platform) error {
+	return p.WriteJSON(w)
+}

@@ -6,10 +6,17 @@
 // The engine honours the model described in the paper: compute bursts are
 // instruction counts scaled by a MIPS rate; point-to-point transfers cost
 // latency + size/bandwidth; a finite pool of global buses bounds the number
-// of concurrently flying messages; and per-processor input/output ports
-// bound each node's injection and drain concurrency. Matching follows MPI
+// of concurrently flying messages; and per-node input/output ports bound
+// each node's injection and drain concurrency. Matching follows MPI
 // non-overtaking order: the n-th send of a (source, tag, chunk) stream pairs
 // with the n-th receive posted for that stream.
+//
+// The platform may be hierarchical (network.Platform): ranks are placed on
+// nodes by a mapping, transfers between ranks sharing a node cross the
+// intra-node link class (shared memory, per-node bus pool), and transfers
+// between nodes cross the inter-node link class (NIC ports, global buses).
+// A flat network.Config is replayed as its degenerate one-rank-per-node
+// platform and reproduces the original single-link model exactly.
 package sim
 
 import (
@@ -64,6 +71,11 @@ type Comm struct {
 	Tag, Chunk int
 	Bytes      int64
 	MsgID      int64
+	// Intra reports whether both endpoints share a node, i.e. the
+	// transfer crossed the platform's intra-node link class instead of
+	// the interconnect. Always false on a flat (one-rank-per-node)
+	// platform.
+	Intra bool
 	// SendT is the virtual time the send record executed on the source.
 	SendT float64
 	// StartT is when the transfer acquired its resources and left the
@@ -116,6 +128,22 @@ func (r *Result) TotalComputeSec() float64 {
 	return s
 }
 
+// TrafficSplit partitions the replay's traffic by link class: bytes and
+// message counts that stayed inside a node versus those that crossed the
+// interconnect. On a flat platform everything is inter-node.
+func (r *Result) TrafficSplit() (intraBytes, interBytes int64, intraMsgs, interMsgs int) {
+	for i := range r.Comms {
+		if r.Comms[i].Intra {
+			intraBytes += r.Comms[i].Bytes
+			intraMsgs++
+		} else {
+			interBytes += r.Comms[i].Bytes
+			interMsgs++
+		}
+	}
+	return intraBytes, interBytes, intraMsgs, interMsgs
+}
+
 // DeadlockError reports a replay that stalled before all ranks finished.
 type DeadlockError struct {
 	Trace   string
@@ -144,8 +172,8 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -317,15 +345,26 @@ type rankState struct {
 // ---------------------------------------------------------------------------
 // Simulator
 
-// Simulator replays one trace on one platform. Create with New, run with
-// Run; a Simulator is single-use.
+// Simulator replays one trace on one platform. Create with New (flat
+// Config) or NewOn (hierarchical Platform), run with Run; a Simulator is
+// single-use.
+//
+// Every transfer is classified by the platform's rank→node mapping:
+// transfers whose endpoints share a node cross the intra-node link class
+// and queue only on that node's intra bus pool; transfers between nodes
+// cross the interconnect link class and queue on the global bus pool plus
+// the two nodes' NIC ports. On a one-rank-per-node platform (any flat
+// Config) everything is inter-node and the engine reduces exactly to the
+// validated single-link model.
 type Simulator struct {
-	cfg network.Config
-	tr  *trace.Trace
+	plat   network.Platform
+	nodeOf []int // rank → node, precomputed from the mapping
+	tr     *trace.Trace
 
-	buses    *resource
-	inPorts  []*resource
-	outPorts []*resource
+	interBuses *resource   // global interconnect pool
+	intraBuses []*resource // per-node shared-memory pool
+	nodeIn     []*resource // per-node NIC drain ports
+	nodeOut    []*resource // per-node NIC injection ports
 
 	ranks   []*rankState
 	streams []map[matchKey]*stream // per destination rank
@@ -333,15 +372,16 @@ type Simulator struct {
 	eq       eventHeap
 	eseq     int64
 	now      float64
-	inFlight int // messages currently in the network (congestion model)
+	inFlight int // inter-node messages currently in the interconnect (congestion model)
 	result   Result
 }
 
 // ErrNilTrace reports a replay requested without a trace.
 var ErrNilTrace = errors.New("sim: nil trace")
 
-// New prepares a replay of tr on the platform cfg. The trace rank count
-// must not exceed cfg.Processors. A nil trace yields ErrNilTrace.
+// New prepares a replay of tr on the flat platform cfg — the degenerate
+// one-rank-per-node case of NewOn. The trace rank count must not exceed
+// cfg.Processors. A nil trace yields ErrNilTrace.
 func New(cfg network.Config, tr *trace.Trace) (*Simulator, error) {
 	if tr == nil {
 		return nil, ErrNilTrace
@@ -349,18 +389,34 @@ func New(cfg network.Config, tr *trace.Trace) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if tr.NumRanks > cfg.Processors {
-		return nil, fmt.Errorf("sim: trace has %d ranks but platform has %d processors", tr.NumRanks, cfg.Processors)
+	return NewOn(cfg.Platform(), tr)
+}
+
+// NewOn prepares a replay of tr on the hierarchical platform p. The trace
+// rank count must not exceed p.Processors. A nil trace yields ErrNilTrace.
+func NewOn(p network.Platform, tr *trace.Trace) (*Simulator, error) {
+	if tr == nil {
+		return nil, ErrNilTrace
 	}
-	s := &Simulator{cfg: cfg, tr: tr}
-	s.buses = newResource(cfg.Buses)
-	s.inPorts = make([]*resource, tr.NumRanks)
-	s.outPorts = make([]*resource, tr.NumRanks)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if tr.NumRanks > p.Processors {
+		return nil, fmt.Errorf("sim: trace has %d ranks but platform has %d processors", tr.NumRanks, p.Processors)
+	}
+	s := &Simulator{plat: p, nodeOf: p.NodeTable(), tr: tr}
+	s.interBuses = newResource(p.Buses)
+	s.intraBuses = make([]*resource, p.Nodes)
+	s.nodeIn = make([]*resource, p.Nodes)
+	s.nodeOut = make([]*resource, p.Nodes)
+	for n := 0; n < p.Nodes; n++ {
+		s.intraBuses[n] = newResource(p.IntraBuses)
+		s.nodeIn[n] = newResource(p.InPorts)
+		s.nodeOut[n] = newResource(p.OutPorts)
+	}
 	s.ranks = make([]*rankState, tr.NumRanks)
 	s.streams = make([]map[matchKey]*stream, tr.NumRanks)
 	for r := 0; r < tr.NumRanks; r++ {
-		s.inPorts[r] = newResource(cfg.InPorts)
-		s.outPorts[r] = newResource(cfg.OutPorts)
 		s.ranks[r] = &rankState{rank: r, outstanding: map[int]float64{}}
 		s.streams[r] = map[matchKey]*stream{}
 	}
@@ -371,6 +427,16 @@ func New(cfg network.Config, tr *trace.Trace) (*Simulator, error) {
 // Run builds a Simulator for (cfg, tr) and executes the replay.
 func Run(cfg network.Config, tr *trace.Trace) (*Result, error) {
 	s, err := New(cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// RunOn builds a Simulator for the hierarchical platform and executes the
+// replay.
+func RunOn(p network.Platform, tr *trace.Trace) (*Result, error) {
+	s, err := NewOn(p, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -456,7 +522,7 @@ func (s *Simulator) advance(rs *rankState) {
 		rec := recs[rs.pc]
 		switch rec.Kind {
 		case trace.KindCompute:
-			d := s.cfg.ComputeSec(rec.Instr)
+			d := s.plat.ComputeSec(rec.Instr)
 			if d <= 0 {
 				rs.pc++
 				continue
@@ -559,9 +625,10 @@ func (s *Simulator) startSend(rs *rankState, rec trace.Record, blocking bool) bo
 	s.result.Comms = append(s.result.Comms, Comm{
 		Src: rs.rank, Dst: rec.Peer, Tag: rec.Tag, Chunk: rec.Chunk,
 		Bytes: rec.Bytes, MsgID: rec.MsgID, SendT: rs.clock,
+		Intra:  s.nodeOf[rs.rank] == s.nodeOf[rec.Peer],
 		StartT: math.NaN(), ArriveT: math.NaN(), MatchT: math.NaN(),
 	})
-	if !s.cfg.Eager(rec.Bytes) && seq >= len(st.posts) {
+	if !s.plat.Eager(rec.Bytes) && seq >= len(st.posts) {
 		// Rendezvous: the matching receive is not posted yet.
 		st.pendingSend[seq] = &pendingTransfer{
 			seq: seq, bytes: rec.Bytes, readyT: rs.clock,
@@ -585,6 +652,13 @@ func (s *Simulator) startSend(rs *rankState, rec trace.Record, blocking bool) bo
 // launch performs resource acquisition, schedules the arrival event, and
 // returns the injection-complete time on the sender.
 //
+// The transfer's locality decides both its cost model and its resource
+// set: intra-node transfers pay the intra link's latency/bandwidth and
+// queue only on the node's shared-memory bus pool (they never touch the
+// NIC or the interconnect); inter-node transfers pay the inter link and
+// queue on a global bus, the source node's output port, and the
+// destination node's input port.
+//
 // Ports and buses are occupied for the serialization time: latency models
 // pipeline depth (wire time plus software overhead), not channel
 // occupancy, so concurrent messages only queue on each other's
@@ -592,21 +666,28 @@ func (s *Simulator) startSend(rs *rankState, rec trace.Record, blocking bool) bo
 // latency once per chunk in *occupancy* (they still pay it per chunk in
 // flight time).
 func (s *Simulator) launch(src, dst int, k matchKey, st *stream, seq int, bytes int64, t float64, commIdx int) float64 {
-	ser := s.cfg.SerializationSec(bytes)
-	if s.cfg.CongestionFactor > 0 && s.cfg.Buses > 0 {
+	intra := s.nodeOf[src] == s.nodeOf[dst]
+	link := s.plat.LinkFor(intra)
+	ser := link.SerializationSec(bytes)
+	if !intra && s.plat.CongestionFactor > 0 && s.plat.Buses > 0 {
 		// Nonlinear congestion extension: transfers entering a loaded
-		// network serialize slower. inFlight is sampled at launch.
-		over := float64(s.inFlight)/float64(s.cfg.Buses) - 1
+		// interconnect serialize slower. inFlight counts inter-node
+		// messages and is sampled at launch; intra-node traffic never
+		// contributes.
+		over := float64(s.inFlight)/float64(s.plat.Buses) - 1
 		if over > 0 {
-			ser *= 1 + s.cfg.CongestionFactor*over
+			ser *= 1 + s.plat.CongestionFactor*over
 		}
 	}
-	flight := s.cfg.LatencySec + ser
-	// Joint acquisition: find the earliest common start at which a bus,
-	// the sender's output port, and the receiver's input port are all
-	// free for the serialization window. The fixpoint loop converges
-	// because each probe only moves the candidate start forward.
-	pools := [3]*resource{s.buses, s.outPorts[src], s.inPorts[dst]}
+	flight := link.LatencySec + ser
+	// Joint acquisition: find the earliest common start at which every
+	// pool of the transfer's resource set is free for the serialization
+	// window. The fixpoint loop converges because each probe only moves
+	// the candidate start forward.
+	pools := [3]*resource{s.intraBuses[s.nodeOf[src]], nil, nil}
+	if !intra {
+		pools = [3]*resource{s.interBuses, s.nodeOut[s.nodeOf[src]], s.nodeIn[s.nodeOf[dst]]}
+	}
 	var units [3]int
 	start := t
 	for iter := 0; iter < 64; iter++ {
@@ -634,9 +715,13 @@ func (s *Simulator) launch(src, dst int, k matchKey, st *stream, seq int, bytes 
 	arrive := start + flight
 	s.result.Comms[commIdx].StartT = start
 	s.result.Comms[commIdx].ArriveT = arrive
-	s.inFlight++
+	if !intra {
+		s.inFlight++
+	}
 	s.schedule(arrive, func() {
-		s.inFlight--
+		if !intra {
+			s.inFlight--
+		}
 		st.arrivals[seq] = arrive
 		if seq < len(st.posts) {
 			s.completePair(dst, k, st, seq)
