@@ -1,23 +1,33 @@
 // Command patterns reproduces the Figure 5 scatter plots and the Table II
 // statistics for one application of the pool: it traces the application and
 // renders the production/consumption access patterns of its communicated
-// buffers.
+// buffers, then quantifies what those patterns buy as overlap speedup on
+// the active platform.
+//
+// The platform flags (-preset, -platform, -nodes, -map, ...) are the
+// uniform set shared by every CLI (internal/platformflag); -workers sizes
+// the engine pool the three flavour replays fan out on.
 //
 // Examples:
 //
 //	patterns -app sweep3d -side prod -buffer outflow-east
 //	patterns -app bt -side cons -rank 1 -csv /tmp/bt.csv
-//	patterns -app cg               (Table II row only)
+//	patterns -app cg               (Table II row + overlap summary)
+//	patterns -app cg -preset fatnode-smp -map rr
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
 	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/pattern"
+	"repro/internal/platformflag"
 	"repro/internal/tracer"
 )
 
@@ -30,6 +40,8 @@ func main() {
 	width := flag.Int("width", 100, "scatter width in characters")
 	height := flag.Int("height", 18, "scatter height in characters")
 	csv := flag.String("csv", "", "write the scatter as CSV to this file")
+	workers := flag.Int("workers", 0, "experiment-engine worker pool size (0 = GOMAXPROCS)")
+	pf := platformflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	entry, ok := apps.ByName(*app, *ranks)
@@ -37,13 +49,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "patterns: unknown app %q (known: %v)\n", *app, apps.Names)
 		os.Exit(2)
 	}
-	run, err := tracer.Trace(*app, *ranks, tracer.DefaultConfig(), entry.App.Kernel)
+	plat, err := pf.Resolve(*app, *ranks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "patterns: %v\n", err)
+		os.Exit(1)
+	}
+	if pf.DumpRequested() {
+		if err := pf.Dump(os.Stdout, plat); err != nil {
+			fmt.Fprintf(os.Stderr, "patterns: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	eng := engine.New(*workers)
+	run, err := eng.Traces().Trace(*app, *ranks, tracer.DefaultConfig(), entry.App.Kernel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "patterns: %v\n", err)
 		os.Exit(1)
 	}
 	an := pattern.Analyze(run)
 	fmt.Print(pattern.FormatTableII([]*pattern.Analysis{an}))
+
+	// What the measured patterns are worth on the active platform: the
+	// three flavour replays run concurrently on the engine pool.
+	rep, err := core.AnalyzeRunOn(context.Background(), eng, run, plat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "patterns: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\noverlap on %s:\n", plat.Describe())
+	fmt.Printf("  speedup %.3fx with measured patterns, %.3fx with ideal patterns\n",
+		rep.SpeedupReal, rep.SpeedupIdeal)
 
 	fmt.Println("\nper-buffer statistics:")
 	names := make([]string, 0, len(an.Production))

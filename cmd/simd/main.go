@@ -1,0 +1,88 @@
+// Command simd is the simulation-as-a-service daemon: the trace-replay
+// framework behind cmd/experiments and friends, exposed as a long-lived
+// HTTP JSON API with a content-addressed artifact store, singleflight
+// dedupe of identical in-flight requests, and an LRU result cache —
+// identical requests hit the cache instead of re-simulating, concurrent
+// distinct requests saturate the worker pool.
+//
+// Examples:
+//
+//	simd -addr :8080 -workers 8 -store-dir /var/lib/simd
+//	curl localhost:8080/healthz
+//	curl -X POST localhost:8080/v1/analyze -d '{"app":"cg","ranks":16}'
+//	curl -X POST localhost:8080/v1/whatif -d '{"app":"sweep3d","ranks":16}'
+//	curl 'localhost:8080/v1/jobs'
+//
+// See the README's "Running as a service" section for the full API.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache", service.DefaultCacheEntries, "result cache capacity in entries (0 or negative disables)")
+	storeDir := flag.String("store-dir", "", "disk tier for the content-addressed artifact store (empty = memory only)")
+	flag.Parse()
+
+	store, err := service.NewStore(*storeDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+		os.Exit(1)
+	}
+	// The flag's 0 means "no caching"; Options reserves 0 for "default"
+	// so the zero value stays usable as a library.
+	entries := *cacheEntries
+	if entries <= 0 {
+		entries = -1
+	}
+	eng := engine.New(*workers)
+	mgr, err := service.NewManager(service.Options{
+		Engine:       eng,
+		Store:        store,
+		CacheEntries: entries,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(mgr),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("simd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	tier := "memory-only store"
+	if *storeDir != "" {
+		tier = "store dir " + *storeDir
+	}
+	log.Printf("simd: listening on %s (%d workers, %d cache entries, %s)", *addr, eng.Workers(), *cacheEntries, tier)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -7,6 +7,7 @@
 //
 //	overlapsim -app cg -ranks 4 -dump-traces /tmp/cg
 //	tracecat /tmp/cg/cg-base.dim
+//	tracecat -digest /tmp/cg/cg-base.dim
 //	tracecat -convert binary -o /tmp/cg.bin /tmp/cg/cg-base.dim
 //	tracecat -replay -platform cluster.json /tmp/cg.bin
 //	tracecat -head 20 /tmp/cg/cg-overlap-real.dim
@@ -24,6 +25,7 @@ import (
 
 func main() {
 	convert := flag.String("convert", "", "rewrite as 'text' or 'binary' to -o")
+	digest := flag.Bool("digest", false, "print only the content digest (SHA-256 of the binary encoding) and exit")
 	out := flag.String("o", "", "output path for -convert")
 	head := flag.Int("head", 0, "print the first N records of every rank")
 	replay := flag.Bool("replay", false, "replay the trace and print timings")
@@ -40,6 +42,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracecat: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *digest {
+		// Digest before validation: the digest addresses the bytes, and
+		// scripts pipe this straight into simd's trace store.
+		d, err := trace.Digest(tr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecat: digest: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(d)
+		return
 	}
 
 	if err := tr.Validate(); err != nil {

@@ -35,6 +35,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Engine is a bounded worker pool plus a shared trace cache. The zero
@@ -44,6 +45,11 @@ type Engine struct {
 	workers int
 	sem     chan struct{}
 	traces  *TraceCache
+
+	started   atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	observer  atomic.Pointer[JobObserver]
 }
 
 // New returns an engine running at most workers jobs concurrently.
@@ -65,6 +71,71 @@ func (e *Engine) Workers() int { return e.workers }
 // Traces returns the engine's shared trace cache: trace an application
 // once, fan its replays out across the pool.
 func (e *Engine) Traces() *TraceCache { return e.traces }
+
+// Stats is a snapshot of the engine's job lifecycle counters over its
+// whole lifetime. Completed counts every finished job, including failed
+// ones; Started - Completed is the number of jobs currently executing.
+type Stats struct {
+	Started   uint64 `json:"started"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+}
+
+// Stats returns the engine's lifetime job counters. Callers such as the
+// service layer diff two snapshots to prove that a cached result spawned
+// no new engine work.
+func (e *Engine) Stats() Stats {
+	// Read completion counters before Started so a concurrent job can
+	// never make the snapshot claim more completions than starts.
+	failed := e.failed.Load()
+	completed := e.completed.Load()
+	return Stats{
+		Started:   e.started.Load(),
+		Completed: completed,
+		Failed:    failed,
+	}
+}
+
+// JobEvent is one job lifecycle notification: Done=false when the job
+// starts executing, Done=true (with its error, if any) when it finishes.
+type JobEvent struct {
+	Index int
+	Done  bool
+	Err   error
+}
+
+// JobObserver receives job lifecycle events. Observers run inline on the
+// executing goroutine and must be fast and safe for concurrent calls.
+type JobObserver func(JobEvent)
+
+// SetObserver installs fn as the engine's job lifecycle hook (nil removes
+// it). At most one observer is active; later calls replace earlier ones.
+func (e *Engine) SetObserver(fn JobObserver) {
+	if fn == nil {
+		e.observer.Store(nil)
+		return
+	}
+	e.observer.Store(&fn)
+}
+
+// noteStart records (and publishes) the start of one job.
+func (e *Engine) noteStart(i int) {
+	e.started.Add(1)
+	if obs := e.observer.Load(); obs != nil {
+		(*obs)(JobEvent{Index: i})
+	}
+}
+
+// noteDone records (and publishes) the completion of one job.
+func (e *Engine) noteDone(i int, err error) {
+	if err != nil {
+		e.failed.Add(1)
+	}
+	e.completed.Add(1)
+	if obs := e.observer.Load(); obs != nil {
+		(*obs)(JobEvent{Index: i, Done: true, Err: err})
+	}
+}
 
 var (
 	defaultOnce   sync.Once
@@ -149,11 +220,11 @@ func Map[T any](ctx context.Context, e *Engine, n int, fn func(ctx context.Conte
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-e.sem }()
-				out[i], errs[i] = runJob(ctx, i, fn)
+				out[i], errs[i] = runJob(e, ctx, i, fn)
 			}(i)
 		default:
 			// Pool saturated: the submitter works instead of waiting.
-			out[i], errs[i] = runJob(ctx, i, fn)
+			out[i], errs[i] = runJob(e, ctx, i, fn)
 		}
 	}
 	wg.Wait()
@@ -168,11 +239,13 @@ func ForEach(ctx context.Context, e *Engine, n int, fn func(ctx context.Context,
 	return err
 }
 
-func runJob[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (out T, err error) {
+func runJob[T any](e *Engine, ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (out T, err error) {
+	e.noteStart(i)
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("engine: job %d panicked: %v", i, r)
 		}
+		e.noteDone(i, err)
 	}()
 	return fn(ctx, i)
 }

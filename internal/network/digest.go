@@ -1,0 +1,81 @@
+package network
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Content addressing for platforms. The service layer keys its result
+// cache and platform store by Digest, so two requests naming the same
+// platform — whatever spelling they arrived in — must collapse to one key.
+
+// canonicalPlatform is the canonicalized JSON form a platform digests
+// through. It differs from the persistence schema (platformJSON) in one
+// deliberate way: the mapping is materialized to the full rank→node table,
+// so "block" on a flat platform, an equivalent explicit list, and any
+// other spelling of the same placement all digest equal. Bandwidths use
+// encodeBW, matching the persistence files ("inf" for +Inf).
+type canonicalPlatform struct {
+	Processors          int     `json:"processors"`
+	Nodes               int     `json:"nodes"`
+	NodeTable           []int   `json:"node_table"`
+	IntraLatencySec     float64 `json:"intra_latency_sec"`
+	IntraBandwidthMBps  any     `json:"intra_bandwidth_mbps"`
+	IntraBuses          int     `json:"intra_buses"`
+	InterLatencySec     float64 `json:"inter_latency_sec"`
+	InterBandwidthMBps  any     `json:"inter_bandwidth_mbps"`
+	Buses               int     `json:"buses"`
+	InPorts             int     `json:"in_ports"`
+	OutPorts            int     `json:"out_ports"`
+	MIPS                float64 `json:"mips"`
+	EagerThresholdBytes int64   `json:"eager_threshold_bytes"`
+	RelativeSpeed       float64 `json:"relative_speed"`
+	CongestionFactor    float64 `json:"congestion_factor"`
+}
+
+// CanonicalJSON returns the canonical serialized form of the platform:
+// compact JSON with a fixed field order and the mapping materialized to
+// the explicit rank→node table. Two platforms produce the same canonical
+// bytes exactly when every replay on them behaves identically. The
+// platform must be valid (Validate), since materializing an explicit
+// mapping indexes its node list.
+func (p Platform) CanonicalJSON() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := canonicalPlatform{
+		Processors:          p.Processors,
+		Nodes:               p.Nodes,
+		NodeTable:           p.NodeTable(),
+		IntraLatencySec:     p.Intra.LatencySec,
+		IntraBandwidthMBps:  encodeBW(p.Intra.BandwidthMBps),
+		IntraBuses:          p.IntraBuses,
+		InterLatencySec:     p.Inter.LatencySec,
+		InterBandwidthMBps:  encodeBW(p.Inter.BandwidthMBps),
+		Buses:               p.Buses,
+		InPorts:             p.InPorts,
+		OutPorts:            p.OutPorts,
+		MIPS:                p.MIPS,
+		EagerThresholdBytes: p.EagerThresholdBytes,
+		RelativeSpeed:       p.RelativeSpeed,
+		CongestionFactor:    p.CongestionFactor,
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("network: canonicalize platform: %w", err)
+	}
+	return b, nil
+}
+
+// Digest returns the content address of the platform: the SHA-256 of its
+// canonical JSON, spelled "sha256:<64 hex digits>" like trace digests.
+func (p Platform) Digest() (string, error) {
+	b, err := p.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}

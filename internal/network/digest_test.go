@@ -1,0 +1,108 @@
+package network
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlatformDigestStable(t *testing.T) {
+	p := Testbed(8).Platform()
+	d1, err := p.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Testbed(8).Platform().Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("digest not deterministic: %s vs %s", d1, d2)
+	}
+	if !strings.HasPrefix(d1, "sha256:") || len(d1) != len("sha256:")+64 {
+		t.Fatalf("malformed digest %q", d1)
+	}
+}
+
+// TestPlatformDigestCanonicalizesMapping checks that equivalent mapping
+// spellings digest equal: the digest addresses the placement, not how the
+// request spelled it.
+func TestPlatformDigestCanonicalizesMapping(t *testing.T) {
+	base, err := PlatformPreset("marenostrum-4x", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := base.WithMapping(BlockMapping())
+	explicit := base.WithMapping(ExplicitMapping(block.NodeTable()))
+	db, err := block.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	de, err := explicit.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db != de {
+		t.Fatalf("equivalent placements digest differently: %s vs %s", db, de)
+	}
+	rr := base.WithMapping(RoundRobinMapping())
+	dr, err := rr.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr == db {
+		t.Fatal("round-robin digests equal to block")
+	}
+}
+
+func TestPlatformDigestDistinguishes(t *testing.T) {
+	base := Testbed(8).Platform()
+	ref, err := base.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []Platform{
+		base.WithInterBandwidth(base.Inter.BandwidthMBps * 2),
+		base.WithBuses(base.Buses + 1),
+		base.WithProcessors(16).WithNodes(16),
+	}
+	for i, v := range variants {
+		d, err := v.Digest()
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if d == ref {
+			t.Errorf("variant %d digests equal to the reference", i)
+		}
+	}
+}
+
+// TestPlatformDigestInfiniteBandwidth checks the ideal preset (infinite
+// bandwidth) digests cleanly through the "inf" encoding.
+func TestPlatformDigestInfiniteBandwidth(t *testing.T) {
+	p, err := PlatformPreset("ideal", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p.Inter.BandwidthMBps, 1) {
+		t.Fatal("ideal preset lost its infinite bandwidth")
+	}
+	b, err := p.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"inf"`)) {
+		t.Fatalf("canonical JSON does not encode infinity: %s", b)
+	}
+	if _, err := p.Digest(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlatformDigestRejectsInvalid(t *testing.T) {
+	var p Platform
+	if _, err := p.Digest(); err == nil {
+		t.Fatal("zero platform digested without error")
+	}
+}

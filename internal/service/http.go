@@ -1,0 +1,295 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/apps"
+	"repro/internal/network"
+	"repro/internal/trace"
+)
+
+// maxUploadBytes bounds trace uploads (the binary codec is 5-10x denser
+// than this, so the limit is generous).
+const maxUploadBytes = 64 << 20
+
+// AppInfo is one row of GET /v1/apps.
+type AppInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// PlatformInfo is one row of GET /v1/platforms.
+type PlatformInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// TraceInfo describes a stored trace (the POST /v1/traces response).
+type TraceInfo struct {
+	Digest  string `json:"digest"`
+	Name    string `json:"name"`
+	Flavor  string `json:"flavor"`
+	Ranks   int    `json:"ranks"`
+	Records int    `json:"records"`
+}
+
+// Health is the GET /healthz response.
+type Health struct {
+	Status    string  `json:"status"`
+	UptimeSec float64 `json:"uptime_sec"`
+	Workers   int     `json:"workers"`
+}
+
+// expvar integration: /metrics serves the process-wide expvar page, and
+// the "service" variable on it reads the handler most recently built —
+// the one the daemon runs. Publishing is global and once-only, so tests
+// building many handlers neither panic nor leak variables.
+var (
+	metricsOnce   sync.Once
+	activeManager atomic.Pointer[Manager]
+)
+
+func publishMetrics(m *Manager) {
+	activeManager.Store(m)
+	metricsOnce.Do(func() {
+		expvar.Publish("service", expvar.Func(func() any {
+			mgr := activeManager.Load()
+			if mgr == nil {
+				return nil
+			}
+			return mgr.MetricsSnapshot()
+		}))
+	})
+}
+
+// NewHandler builds the daemon's HTTP API around a manager. The routes:
+//
+//	GET    /healthz              liveness + uptime
+//	GET    /metrics              expvar (includes the "service" counters)
+//	GET    /v1/apps              application catalog
+//	GET    /v1/platforms         platform preset catalog
+//	POST   /v1/traces            upload a trace (text or binary codec)
+//	GET    /v1/traces            list stored trace digests
+//	GET    /v1/traces/{digest}   download a stored trace (binary codec)
+//	POST   /v1/analyze           three-flavour analysis        } sync by
+//	POST   /v1/whatif            per-buffer idealization       } default;
+//	POST   /v1/sweep/bandwidth   bandwidth sweep               } ?async=1
+//	POST   /v1/sweep/mapping     placement sweep               } returns 202
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         poll one job (result inlined when done)
+//	DELETE /v1/jobs/{id}         cancel one job
+func NewHandler(m *Manager) http.Handler {
+	publishMetrics(m)
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, Health{
+			Status:    "ok",
+			UptimeSec: m.UptimeSec(),
+			Workers:   m.eng.Workers(),
+		})
+	})
+	mux.Handle("GET /metrics", expvar.Handler())
+
+	mux.HandleFunc("GET /v1/apps", func(w http.ResponseWriter, r *http.Request) {
+		// The registry's descriptions are rank-independent; 16 is only a
+		// valid instantiation size.
+		list := make([]AppInfo, 0, len(apps.Names))
+		for _, e := range apps.All(16) {
+			list = append(list, AppInfo{Name: e.App.Name, Description: e.Description})
+		}
+		writeJSON(w, http.StatusOK, list)
+	})
+
+	mux.HandleFunc("GET /v1/platforms", func(w http.ResponseWriter, r *http.Request) {
+		desc := network.PresetDescriptions()
+		list := make([]PlatformInfo, 0, len(desc))
+		for _, name := range network.PresetNames() {
+			list = append(list, PlatformInfo{Name: name, Description: desc[name]})
+		}
+		writeJSON(w, http.StatusOK, list)
+	})
+
+	mux.HandleFunc("POST /v1/traces", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+		if err != nil {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("read upload: %w", err))
+			return
+		}
+		tr, err := decodeTrace(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		digest, err := m.store.PutTrace(tr)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrStoreFull) {
+				status = http.StatusInsufficientStorage
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, traceInfo(digest, tr))
+	})
+
+	mux.HandleFunc("GET /v1/traces", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.store.TraceDigests())
+	})
+
+	mux.HandleFunc("GET /v1/traces/{digest}", func(w http.ResponseWriter, r *http.Request) {
+		tr, err := m.store.GetTrace(r.PathValue("digest"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := trace.WriteBinary(w, tr); err != nil {
+			// Headers are gone; all we can do is drop the connection.
+			return
+		}
+	})
+
+	submit := func(w http.ResponseWriter, r *http.Request, req Request) {
+		job, err := m.Submit(req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if async, _ := strconv.ParseBool(r.URL.Query().Get("async")); async {
+			writeJSON(w, http.StatusAccepted, job.Status(false))
+			return
+		}
+		payload, err := job.Wait(r.Context())
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		// The payload is served verbatim: identical requests receive
+		// byte-identical responses, cached or not.
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Job-Id", job.ID())
+		w.Header().Set("X-Cache", cacheHeader(job))
+		w.WriteHeader(http.StatusOK)
+		w.Write(payload)
+	}
+
+	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
+		var req AnalyzeRequest
+		if !decodeRequest(w, r, &req) {
+			return
+		}
+		submit(w, r, req)
+	})
+	mux.HandleFunc("POST /v1/whatif", func(w http.ResponseWriter, r *http.Request) {
+		var req WhatIfRequest
+		if !decodeRequest(w, r, &req) {
+			return
+		}
+		submit(w, r, req)
+	})
+	mux.HandleFunc("POST /v1/sweep/bandwidth", func(w http.ResponseWriter, r *http.Request) {
+		var req BandwidthSweepRequest
+		if !decodeRequest(w, r, &req) {
+			return
+		}
+		submit(w, r, req)
+	})
+	mux.HandleFunc("POST /v1/sweep/mapping", func(w http.ResponseWriter, r *http.Request) {
+		var req MappingSweepRequest
+		if !decodeRequest(w, r, &req) {
+			return
+		}
+		submit(w, r, req)
+	})
+
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := m.Jobs()
+		list := make([]Status, 0, len(jobs))
+		for _, j := range jobs {
+			list = append(list, j.Status(false))
+		}
+		writeJSON(w, http.StatusOK, list)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Status(true))
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		j, ok := m.Cancel(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Status(false))
+	})
+
+	return mux
+}
+
+func cacheHeader(j *Job) string {
+	if j.Cached() {
+		return "hit"
+	}
+	return "miss"
+}
+
+func traceInfo(digest string, tr *trace.Trace) TraceInfo {
+	return TraceInfo{
+		Digest:  digest,
+		Name:    tr.Name,
+		Flavor:  tr.Flavor,
+		Ranks:   tr.NumRanks,
+		Records: tr.Stats().Records,
+	}
+}
+
+// decodeTrace parses an uploaded trace in either codec, sniffing the
+// text magic like tracecat does.
+func decodeTrace(body []byte) (*trace.Trace, error) {
+	if len(body) >= 7 && string(body[:7]) == "#DIMGO " {
+		return trace.Read(bytes.NewReader(body))
+	}
+	return trace.ReadBinary(bytes.NewReader(body))
+}
+
+// decodeRequest parses a JSON request body strictly; unknown fields are
+// errors so typos (e.g. "bandwidths" for "bandwidths_mbps") don't silently
+// select defaults.
+func decodeRequest(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parse request: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,83 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a small LRU of marshalled results keyed by request
+// digest. Values are immutable byte slices; callers must not modify what
+// Get returns. Safe for concurrent use.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	entries  map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheItem struct {
+	key   string
+	value []byte
+}
+
+// newResultCache returns an LRU holding at most capacity entries;
+// capacity <= 0 disables caching (every Get misses, Put is a no-op).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached bytes for key, marking the entry most recently
+// used.
+func (c *resultCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheItem).value, true
+}
+
+// Put inserts (or refreshes) key, evicting the least recently used entry
+// beyond capacity.
+func (c *resultCache) Put(key string, value []byte) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheItem).value = value
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheItem{key: key, value: value})
+	for c.order.Len() > c.capacity {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheItem).key)
+	}
+}
+
+// Len reports how many results are cached.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Counters returns the lifetime hit/miss counts.
+func (c *resultCache) Counters() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

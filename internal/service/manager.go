@@ -1,0 +1,439 @@
+// Package service turns the reproduction into a serving system: a job
+// manager layered on the experiment engine that submits, polls, and
+// cancels analysis jobs, deduplicates identical in-flight requests
+// (singleflight), and answers repeated requests from an LRU result cache
+// keyed by content digests — so identical requests hit the cache instead
+// of re-simulating, and concurrent distinct requests saturate the worker
+// pool. The HTTP face of the package is in http.go; cmd/simd is the
+// daemon.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// DefaultCacheEntries is the result-cache capacity when Options leaves it
+// zero.
+const DefaultCacheEntries = 256
+
+// maxRetainedJobs bounds the completed-job history kept for polling;
+// oldest finished jobs are pruned first. In-flight jobs are never pruned.
+const maxRetainedJobs = 1024
+
+// Options configures a Manager. The zero value is usable: default engine,
+// memory-only store, DefaultCacheEntries.
+type Options struct {
+	// Engine is the worker pool jobs run on; nil selects engine.Default().
+	Engine *engine.Engine
+	// Store is the content-addressed artifact store; nil creates a
+	// memory-only store.
+	Store *Store
+	// CacheEntries sizes the LRU result cache: 0 means
+	// DefaultCacheEntries, negative disables caching.
+	CacheEntries int
+}
+
+// Manager is the job manager: it owns the result cache, the singleflight
+// table of in-flight requests, and the job registry. Safe for concurrent
+// use.
+type Manager struct {
+	eng   *engine.Engine
+	store *Store
+	cache *resultCache
+	start time.Time
+	// slots bounds how many jobs execute concurrently. The engine's own
+	// semaphore only bounds intra-job fan-out — its caller-runs
+	// discipline executes jobs inline on saturated pools — so without
+	// this gate every concurrent Submit would run a simulation on its
+	// own goroutine regardless of -workers. Jobs beyond the bound queue
+	// in state pending.
+	slots chan struct{}
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // job IDs in submission order, for listing/pruning
+	inflight map[string]*Job
+	seq      int64
+	deduped  uint64
+}
+
+// NewManager builds a manager from opts.
+func NewManager(opts Options) (*Manager, error) {
+	eng := opts.Engine
+	if eng == nil {
+		eng = engine.Default()
+	}
+	store := opts.Store
+	if store == nil {
+		var err error
+		store, err = NewStore("")
+		if err != nil {
+			return nil, err
+		}
+	}
+	entries := opts.CacheEntries
+	if entries == 0 {
+		entries = DefaultCacheEntries
+	}
+	return &Manager{
+		eng:      eng,
+		store:    store,
+		cache:    newResultCache(entries),
+		start:    time.Now(),
+		slots:    make(chan struct{}, eng.Workers()),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+	}, nil
+}
+
+// Engine returns the manager's worker pool.
+func (m *Manager) Engine() *engine.Engine { return m.eng }
+
+// Store returns the manager's artifact store.
+func (m *Manager) Store() *Store { return m.store }
+
+// Submit prepares and schedules a request. Three outcomes:
+//
+//   - result cache hit: the returned job is already done, carrying the
+//     cached bytes, and no engine work was (or will be) spawned;
+//   - identical request in flight: the existing job is returned
+//     (singleflight dedupe) — both submitters wait on one computation;
+//   - otherwise a new job starts on the manager's engine.
+//
+// Validation and reference-resolution errors surface synchronously.
+func (m *Manager) Submit(req Request) (*Job, error) {
+	t, err := req.prepare(m)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	// Singleflight before cache: while a job is in flight its result may
+	// be landing in the cache concurrently, but attaching to the job is
+	// always correct. Once it left the inflight table its result is
+	// cached (run() fills the cache before detaching), so the two checks
+	// under one lock leave no window where identical work reruns.
+	if j, ok := m.inflight[t.key]; ok {
+		m.deduped++
+		m.mu.Unlock()
+		return j, nil
+	}
+	if b, ok := m.cache.Get(t.key); ok {
+		j := m.newJobLocked(t, true)
+		m.mu.Unlock()
+		j.complete(b, nil)
+		return j, nil
+	}
+	j := m.newJobLocked(t, false)
+	m.inflight[t.key] = j
+	m.mu.Unlock()
+	go m.run(j, t)
+	return j, nil
+}
+
+// newJobLocked registers a fresh job; m.mu must be held.
+func (m *Manager) newJobLocked(t *task, cached bool) *Job {
+	m.seq++
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		id:      fmt.Sprintf("job-%08d", m.seq),
+		kind:    t.kind,
+		key:     t.key,
+		cached:  cached,
+		created: time.Now(),
+		state:   JobPending,
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.pruneLocked()
+	return j
+}
+
+// pruneLocked evicts the oldest finished jobs beyond maxRetainedJobs.
+func (m *Manager) pruneLocked() {
+	if len(m.order) <= maxRetainedJobs {
+		return
+	}
+	kept := m.order[:0]
+	excess := len(m.order) - maxRetainedJobs
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if excess > 0 && j.Finished() {
+			delete(m.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// run executes one job and publishes its result.
+func (m *Manager) run(j *Job, t *task) {
+	// Wait for an execution slot — or for cancellation while queued.
+	select {
+	case m.slots <- struct{}{}:
+		defer func() { <-m.slots }()
+	case <-j.ctx.Done():
+		m.mu.Lock()
+		delete(m.inflight, t.key)
+		m.mu.Unlock()
+		j.complete(nil, j.ctx.Err())
+		return
+	}
+	j.markRunning()
+	out, err := t.run(j.ctx, m)
+	var payload []byte
+	if err == nil {
+		payload, err = json.Marshal(out)
+	}
+	if err == nil {
+		// Fill the cache before leaving the inflight table (see Submit).
+		m.cache.Put(t.key, payload)
+	}
+	m.mu.Lock()
+	delete(m.inflight, t.key)
+	m.mu.Unlock()
+	j.complete(payload, err)
+}
+
+// Job returns a job by ID.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs lists the retained jobs in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Cancel cancels a job's context and returns the job. Jobs sharing the
+// computation through singleflight dedupe are all cancelled — the
+// computation is one. Returns false for unknown IDs; cancelling a
+// finished job is a no-op.
+func (m *Manager) Cancel(id string) (*Job, bool) {
+	j, ok := m.Job(id)
+	if !ok {
+		return nil, false
+	}
+	j.cancel()
+	return j, true
+}
+
+// UptimeSec reports how long the manager has been serving. Cheap —
+// liveness probes hit it; the full MetricsSnapshot walks the job table.
+func (m *Manager) UptimeSec() float64 { return time.Since(m.start).Seconds() }
+
+// Metrics is a point-in-time snapshot of the manager's serving counters.
+type Metrics struct {
+	UptimeSec      float64        `json:"uptime_sec"`
+	Workers        int            `json:"workers"`
+	CacheEntries   int            `json:"cache_entries"`
+	CacheHits      uint64         `json:"cache_hits"`
+	CacheMisses    uint64         `json:"cache_misses"`
+	Deduped        uint64         `json:"deduped"`
+	StoredTraces   int            `json:"stored_traces"`
+	StoredPlatform int            `json:"stored_platforms"`
+	Jobs           map[string]int `json:"jobs"`
+	Engine         engine.Stats   `json:"engine"`
+}
+
+// MetricsSnapshot gathers the current serving counters.
+func (m *Manager) MetricsSnapshot() Metrics {
+	hits, misses := m.cache.Counters()
+	traces, platforms := m.store.Counts()
+	byState := map[string]int{}
+	m.mu.Lock()
+	deduped := m.deduped
+	for _, id := range m.order {
+		byState[string(m.jobs[id].State())]++
+	}
+	m.mu.Unlock()
+	return Metrics{
+		UptimeSec:      time.Since(m.start).Seconds(),
+		Workers:        m.eng.Workers(),
+		CacheEntries:   m.cache.Len(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		Deduped:        deduped,
+		StoredTraces:   traces,
+		StoredPlatform: platforms,
+		Jobs:           byState,
+		Engine:         m.eng.Stats(),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Job
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// The job lifecycle: Pending -> Running -> Done | Failed | Cancelled.
+// Cache hits are born Done.
+const (
+	JobPending   JobState = "pending"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Job is one submitted request. All exported methods are safe for
+// concurrent use.
+type Job struct {
+	id      string
+	kind    string
+	key     string
+	cached  bool
+	created time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu       sync.Mutex
+	state    JobState
+	started  time.Time
+	finished time.Time
+	result   []byte
+	err      error
+}
+
+// ID returns the job's identifier ("job-00000001").
+func (j *Job) ID() string { return j.id }
+
+// Kind returns the request kind ("analyze", ...).
+func (j *Job) Kind() string { return j.kind }
+
+// Key returns the canonical request digest the job computes.
+func (j *Job) Key() string { return j.key }
+
+// Cached reports whether the job was answered from the result cache.
+func (j *Job) Cached() bool { return j.cached }
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Finished reports whether the job reached a terminal state.
+func (j *Job) Finished() bool {
+	switch j.State() {
+	case JobDone, JobFailed, JobCancelled:
+		return true
+	}
+	return false
+}
+
+func (j *Job) markRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == JobPending {
+		j.state = JobRunning
+		j.started = time.Now()
+	}
+}
+
+// complete moves the job to its terminal state and wakes every waiter.
+func (j *Job) complete(result []byte, err error) {
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.state = JobDone
+		j.result = result
+	case j.ctx.Err() != nil:
+		j.state = JobCancelled
+		j.err = j.ctx.Err()
+	default:
+		j.state = JobFailed
+		j.err = err
+	}
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.cancel() // release the context's resources
+	close(j.done)
+}
+
+// Wait blocks until the job finishes (or ctx expires) and returns the
+// marshalled result.
+func (j *Job) Wait(ctx context.Context) ([]byte, error) {
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return nil, j.err
+	}
+	return j.result, nil
+}
+
+// Status is the pollable JSON view of a job (GET /v1/jobs/{id}).
+type Status struct {
+	ID         string          `json:"id"`
+	Kind       string          `json:"kind"`
+	RequestKey string          `json:"request_digest"`
+	State      JobState        `json:"state"`
+	Cached     bool            `json:"cached"`
+	CreatedAt  time.Time       `json:"created_at"`
+	StartedAt  *time.Time      `json:"started_at,omitempty"`
+	FinishedAt *time.Time      `json:"finished_at,omitempty"`
+	ElapsedSec float64         `json:"elapsed_sec"`
+	Error      string          `json:"error,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+}
+
+// Status snapshots the job. withResult embeds the result payload for
+// terminal Done jobs.
+func (j *Job) Status(withResult bool) Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Status{
+		ID:         j.id,
+		Kind:       j.kind,
+		RequestKey: j.key,
+		State:      j.state,
+		Cached:     j.cached,
+		CreatedAt:  j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.FinishedAt = &t
+		s.ElapsedSec = j.finished.Sub(j.created).Seconds()
+	} else {
+		s.ElapsedSec = time.Since(j.created).Seconds()
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	if withResult && j.state == JobDone {
+		s.Result = j.result
+	}
+	return s
+}

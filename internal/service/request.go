@@ -1,0 +1,531 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tracer"
+)
+
+// Request kinds, used as job labels and in canonical keys.
+const (
+	KindAnalyze        = "analyze"
+	KindWhatIf         = "whatif"
+	KindBandwidthSweep = "sweep-bandwidth"
+	KindMappingSweep   = "sweep-mapping"
+)
+
+// Request limits: the daemon refuses work whose cost is unbounded by
+// construction rather than trusting clients.
+const (
+	maxRanks       = 1024
+	maxSweepPoints = 1024
+)
+
+// PlatformSpec selects the platform of a request. At most one selector
+// may be set; an empty (or absent) spec means the app-calibrated testbed,
+// matching the CLIs' default.
+type PlatformSpec struct {
+	// Preset names a platform preset (see GET /v1/platforms).
+	Preset string `json:"preset,omitempty"`
+	// Digest references a platform previously stored in the artifact
+	// store (e.g. via an earlier request's response).
+	Digest string `json:"digest,omitempty"`
+	// Inline embeds a platform JSON document (hierarchical or flat
+	// schema, as accepted by every CLI's -platform flag).
+	Inline json.RawMessage `json:"inline,omitempty"`
+}
+
+// Request is one unit of submittable work. The concrete types below are
+// the wire request bodies of the daemon's POST endpoints.
+type Request interface {
+	// prepare validates the request against the manager's registries,
+	// resolves references (platform specs, trace digests), and compiles
+	// the executable task with its canonical cache key.
+	prepare(m *Manager) (*task, error)
+}
+
+// task is a prepared request: a canonical key plus the work function.
+type task struct {
+	kind string
+	key  string
+	run  func(ctx context.Context, m *Manager) (any, error)
+}
+
+// canonicalRequest is what a request digests through: every field that
+// changes the result, nothing that doesn't. Platforms and traces appear
+// as content digests, so equivalent spellings (preset name vs uploaded
+// JSON vs explicit mapping list) collapse to one key.
+type canonicalRequest struct {
+	Kind           string        `json:"kind"`
+	App            string        `json:"app,omitempty"`
+	Ranks          int           `json:"ranks,omitempty"`
+	Tracer         tracer.Config `json:"tracer"`
+	Flavor         string        `json:"flavor,omitempty"`
+	TraceDigest    string        `json:"trace_digest,omitempty"`
+	PlatformDigest string        `json:"platform_digest"`
+	Bandwidths     []float64     `json:"bandwidths,omitempty"`
+	Mappings       []string      `json:"mappings,omitempty"`
+}
+
+// key digests the canonical request.
+func (c canonicalRequest) key() (string, error) {
+	b, err := json.Marshal(c)
+	if err != nil {
+		return "", fmt.Errorf("service: canonicalize request: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}
+
+// tracerConfig lifts a request's chunk count to the full tracer
+// configuration (0 keeps the paper's default).
+func tracerConfig(chunks int) (tracer.Config, error) {
+	cfg := tracer.DefaultConfig()
+	if chunks < 0 {
+		return cfg, fmt.Errorf("service: chunks=%d, must be positive", chunks)
+	}
+	if chunks > 0 {
+		cfg.Chunks = chunks
+	}
+	return cfg, nil
+}
+
+// appEntry validates an (app, ranks) pair against the registry.
+func appEntry(app string, ranks int) (core.App, error) {
+	if ranks <= 0 || ranks > maxRanks {
+		return core.App{}, fmt.Errorf("service: ranks=%d, must be in [1, %d]", ranks, maxRanks)
+	}
+	entry, ok := apps.ByName(app, ranks)
+	if !ok {
+		return core.App{}, fmt.Errorf("service: unknown app %q (known: %v)", app, apps.Names)
+	}
+	return entry.App, nil
+}
+
+// resolvePlatform turns a spec into a validated platform sized for ranks,
+// registers it in the artifact store, and returns it with its digest.
+func (m *Manager) resolvePlatform(spec *PlatformSpec, app string, ranks int) (network.Platform, string, error) {
+	var plat network.Platform
+	selectors := 0
+	if spec != nil {
+		if spec.Preset != "" {
+			selectors++
+		}
+		if spec.Digest != "" {
+			selectors++
+		}
+		if len(spec.Inline) > 0 {
+			selectors++
+		}
+	}
+	switch {
+	case selectors > 1:
+		return network.Platform{}, "", fmt.Errorf("service: platform spec sets %d of preset/digest/inline, want at most one", selectors)
+	case spec == nil || selectors == 0:
+		plat = network.TestbedFor(app, ranks).Platform()
+	case spec.Preset != "":
+		p, err := network.PlatformPreset(spec.Preset, ranks)
+		if err != nil {
+			return network.Platform{}, "", err
+		}
+		plat = p
+	case spec.Digest != "":
+		p, err := m.store.GetPlatform(spec.Digest)
+		if err != nil {
+			return network.Platform{}, "", err
+		}
+		plat = p
+	default: // inline
+		p, err := network.ReadAnyPlatform(bytes.NewReader(spec.Inline))
+		if err != nil {
+			return network.Platform{}, "", err
+		}
+		plat = p
+	}
+	if plat.Processors < ranks {
+		return network.Platform{}, "", fmt.Errorf("service: platform has %d processors, request needs %d", plat.Processors, ranks)
+	}
+	digest, err := m.store.PutPlatform(plat)
+	if err != nil {
+		return network.Platform{}, "", err
+	}
+	return plat, digest, nil
+}
+
+// ---------------------------------------------------------------------------
+// Analyze
+
+// AnalyzeRequest runs the full three-flavour analysis of one registry
+// application on a platform (the POST /v1/analyze body).
+type AnalyzeRequest struct {
+	App      string        `json:"app"`
+	Ranks    int           `json:"ranks"`
+	Chunks   int           `json:"chunks,omitempty"`
+	Platform *PlatformSpec `json:"platform,omitempty"`
+}
+
+func (r AnalyzeRequest) prepare(m *Manager) (*task, error) {
+	app, err := appEntry(r.App, r.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	tCfg, err := tracerConfig(r.Chunks)
+	if err != nil {
+		return nil, err
+	}
+	plat, platDigest, err := m.resolvePlatform(r.Platform, r.App, r.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	key, err := canonicalRequest{
+		Kind:           KindAnalyze,
+		App:            r.App,
+		Ranks:          r.Ranks,
+		Tracer:         tCfg,
+		PlatformDigest: platDigest,
+	}.key()
+	if err != nil {
+		return nil, err
+	}
+	return &task{
+		kind: KindAnalyze,
+		key:  key,
+		run: func(ctx context.Context, m *Manager) (any, error) {
+			run, err := m.eng.Traces().Trace(r.App, r.Ranks, tCfg, app.Kernel)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := core.AnalyzeRunOn(ctx, m.eng, run, plat)
+			if err != nil {
+				return nil, err
+			}
+			return rep.Wire()
+		},
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// What-if
+
+// WhatIfRequest ranks one application's buffers by restructuring
+// potential (the POST /v1/whatif body).
+type WhatIfRequest struct {
+	App      string        `json:"app"`
+	Ranks    int           `json:"ranks"`
+	Chunks   int           `json:"chunks,omitempty"`
+	Platform *PlatformSpec `json:"platform,omitempty"`
+}
+
+func (r WhatIfRequest) prepare(m *Manager) (*task, error) {
+	app, err := appEntry(r.App, r.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	tCfg, err := tracerConfig(r.Chunks)
+	if err != nil {
+		return nil, err
+	}
+	plat, platDigest, err := m.resolvePlatform(r.Platform, r.App, r.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	key, err := canonicalRequest{
+		Kind:           KindWhatIf,
+		App:            r.App,
+		Ranks:          r.Ranks,
+		Tracer:         tCfg,
+		PlatformDigest: platDigest,
+	}.key()
+	if err != nil {
+		return nil, err
+	}
+	return &task{
+		kind: KindWhatIf,
+		key:  key,
+		run: func(ctx context.Context, m *Manager) (any, error) {
+			run, err := m.eng.Traces().Trace(r.App, r.Ranks, tCfg, app.Kernel)
+			if err != nil {
+				return nil, err
+			}
+			wi, err := core.WhatIfRunOn(ctx, m.eng, run, plat)
+			if err != nil {
+				return nil, err
+			}
+			return wi.Wire(r.Ranks, platDigest), nil
+		},
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Bandwidth sweep
+
+// BandwidthSweepRequest replays one flavour of an application — or one
+// uploaded trace — across interconnect bandwidths (the POST
+// /v1/sweep/bandwidth body). Exactly one of App or Trace must be set.
+type BandwidthSweepRequest struct {
+	// App mode: trace the registry app and sweep the given flavour.
+	App    string `json:"app,omitempty"`
+	Ranks  int    `json:"ranks,omitempty"`
+	Chunks int    `json:"chunks,omitempty"`
+	// Flavor is base, overlap-real (default), or overlap-ideal.
+	Flavor string `json:"flavor,omitempty"`
+	// Trace mode: sweep a trace previously uploaded to POST /v1/traces,
+	// referenced by digest.
+	Trace string `json:"trace,omitempty"`
+
+	Platform   *PlatformSpec `json:"platform,omitempty"`
+	Bandwidths []float64     `json:"bandwidths_mbps"`
+}
+
+func (r BandwidthSweepRequest) prepare(m *Manager) (*task, error) {
+	if len(r.Bandwidths) == 0 {
+		return nil, fmt.Errorf("service: bandwidth sweep needs bandwidths_mbps")
+	}
+	if len(r.Bandwidths) > maxSweepPoints {
+		return nil, fmt.Errorf("service: %d sweep points, limit %d", len(r.Bandwidths), maxSweepPoints)
+	}
+	for _, bw := range r.Bandwidths {
+		if bw <= 0 {
+			return nil, fmt.Errorf("service: bandwidth %g MB/s, must be positive", bw)
+		}
+	}
+	if (r.App == "") == (r.Trace == "") {
+		return nil, fmt.Errorf("service: bandwidth sweep needs exactly one of app or trace")
+	}
+	bandwidths := append([]float64(nil), r.Bandwidths...)
+
+	if r.Trace != "" {
+		// A stored trace is already one flavour at one chunking on fixed
+		// ranks; accepting the app-mode knobs and ignoring them would
+		// silently serve a different sweep than the client asked for.
+		if r.Flavor != "" || r.Ranks != 0 || r.Chunks != 0 {
+			return nil, fmt.Errorf("service: trace-mode bandwidth sweep does not take flavor, ranks, or chunks")
+		}
+		tr, err := m.store.GetTrace(r.Trace)
+		if err != nil {
+			return nil, err
+		}
+		plat, platDigest, err := m.resolvePlatform(r.Platform, tr.Name, tr.NumRanks)
+		if err != nil {
+			return nil, err
+		}
+		key, err := canonicalRequest{
+			Kind:           KindBandwidthSweep,
+			TraceDigest:    r.Trace,
+			Tracer:         tracer.DefaultConfig(), // irrelevant in trace mode, pinned for key stability
+			PlatformDigest: platDigest,
+			Bandwidths:     bandwidths,
+		}.key()
+		if err != nil {
+			return nil, err
+		}
+		return &task{
+			kind: KindBandwidthSweep,
+			key:  key,
+			run: func(ctx context.Context, m *Manager) (any, error) {
+				points, err := sweepTrace(ctx, m.eng, tr, plat, bandwidths)
+				if err != nil {
+					return nil, err
+				}
+				return &core.WireBandwidthSweep{
+					App:            tr.Name,
+					Flavor:         tr.Flavor,
+					TraceDigest:    r.Trace,
+					PlatformDigest: platDigest,
+					Points:         points,
+				}, nil
+			},
+		}, nil
+	}
+
+	app, err := appEntry(r.App, r.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	tCfg, err := tracerConfig(r.Chunks)
+	if err != nil {
+		return nil, err
+	}
+	flavor := core.Flavor(r.Flavor)
+	if r.Flavor == "" {
+		flavor = core.FlavorReal
+	}
+	switch flavor {
+	case core.FlavorBase, core.FlavorReal, core.FlavorIdeal:
+	default:
+		return nil, fmt.Errorf("service: unknown flavor %q", r.Flavor)
+	}
+	plat, platDigest, err := m.resolvePlatform(r.Platform, r.App, r.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	key, err := canonicalRequest{
+		Kind:           KindBandwidthSweep,
+		App:            r.App,
+		Ranks:          r.Ranks,
+		Tracer:         tCfg,
+		Flavor:         string(flavor),
+		PlatformDigest: platDigest,
+		Bandwidths:     bandwidths,
+	}.key()
+	if err != nil {
+		return nil, err
+	}
+	return &task{
+		kind: KindBandwidthSweep,
+		key:  key,
+		run: func(ctx context.Context, m *Manager) (any, error) {
+			run, err := m.eng.Traces().Trace(r.App, r.Ranks, tCfg, app.Kernel)
+			if err != nil {
+				return nil, err
+			}
+			var tr *trace.Trace
+			switch flavor {
+			case core.FlavorBase:
+				tr = run.BaseTrace()
+			case core.FlavorReal:
+				tr = run.OverlapReal()
+			default:
+				tr = run.OverlapIdeal()
+			}
+			if err := tr.Validate(); err != nil {
+				return nil, err
+			}
+			traceDigest, err := trace.Digest(tr)
+			if err != nil {
+				return nil, err
+			}
+			points, err := sweepTrace(ctx, m.eng, tr, plat, bandwidths)
+			if err != nil {
+				return nil, err
+			}
+			return &core.WireBandwidthSweep{
+				App:            r.App,
+				Flavor:         string(flavor),
+				TraceDigest:    traceDigest,
+				PlatformDigest: platDigest,
+				Points:         points,
+			}, nil
+		},
+	}, nil
+}
+
+// sweepTrace fans the per-bandwidth replays of one trace out across the
+// engine, keeping the input order.
+func sweepTrace(ctx context.Context, eng *engine.Engine, tr *trace.Trace, plat network.Platform, bandwidths []float64) ([]core.WireSweepPoint, error) {
+	fins, err := engine.Map(ctx, eng, len(bandwidths), func(ctx context.Context, i int) (float64, error) {
+		res, err := sim.RunOn(plat.WithInterBandwidth(bandwidths[i]), tr)
+		if err != nil {
+			return 0, err
+		}
+		return res.FinishSec, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]core.WireSweepPoint, len(bandwidths))
+	for i, bw := range bandwidths {
+		points[i] = core.WireSweepPoint{BandwidthMBps: bw, FinishSec: fins[i]}
+	}
+	return points, nil
+}
+
+// ---------------------------------------------------------------------------
+// Mapping sweep
+
+// MappingSweepRequest replays one application under several rank→node
+// placements on a (typically hierarchical) platform (the POST
+// /v1/sweep/mapping body).
+type MappingSweepRequest struct {
+	App      string        `json:"app"`
+	Ranks    int           `json:"ranks"`
+	Chunks   int           `json:"chunks,omitempty"`
+	Platform *PlatformSpec `json:"platform,omitempty"`
+	// Mappings lists placements in their CLI spelling: "block", "rr", or
+	// an explicit node list like "0,0,1,1". Default: block and rr.
+	Mappings []string `json:"mappings,omitempty"`
+}
+
+func (r MappingSweepRequest) prepare(m *Manager) (*task, error) {
+	app, err := appEntry(r.App, r.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	tCfg, err := tracerConfig(r.Chunks)
+	if err != nil {
+		return nil, err
+	}
+	specs := r.Mappings
+	if len(specs) == 0 {
+		specs = []string{"block", "rr"}
+	}
+	if len(specs) > maxSweepPoints {
+		return nil, fmt.Errorf("service: %d mappings, limit %d", len(specs), maxSweepPoints)
+	}
+	plat, platDigest, err := m.resolvePlatform(r.Platform, r.App, r.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	mappings := make([]network.Mapping, len(specs))
+	canonical := make([]string, len(specs))
+	for i, s := range specs {
+		mp, err := network.ParseMapping(s)
+		if err != nil {
+			return nil, err
+		}
+		mapped := plat.WithMapping(mp)
+		if err := mapped.Validate(); err != nil {
+			return nil, fmt.Errorf("service: mapping %q: %w", s, err)
+		}
+		mappings[i] = mp
+		// Key by the materialized rank→node table, not the spelling:
+		// "block" and its explicit node list are the same placement and
+		// must share one cache entry. (The cached payload labels points
+		// with the first submitter's spelling.)
+		canonical[i] = network.ExplicitMapping(mapped.NodeTable()).String()
+	}
+	key, err := canonicalRequest{
+		Kind:           KindMappingSweep,
+		App:            r.App,
+		Ranks:          r.Ranks,
+		Tracer:         tCfg,
+		PlatformDigest: platDigest,
+		Mappings:       canonical,
+	}.key()
+	if err != nil {
+		return nil, err
+	}
+	return &task{
+		kind: KindMappingSweep,
+		key:  key,
+		run: func(ctx context.Context, m *Manager) (any, error) {
+			run, err := m.eng.Traces().Trace(r.App, r.Ranks, tCfg, app.Kernel)
+			if err != nil {
+				return nil, err
+			}
+			pts, err := engine.Map(ctx, m.eng, len(mappings), func(ctx context.Context, i int) (core.MappingPoint, error) {
+				return core.MappingPointOf(run, plat.WithMapping(mappings[i]))
+			})
+			if err != nil {
+				return nil, err
+			}
+			return &core.WireMappingSweep{
+				App:            r.App,
+				Ranks:          r.Ranks,
+				PlatformDigest: platDigest,
+				Points:         core.WireMappingPoints(pts),
+			}, nil
+		},
+	}, nil
+}

@@ -1,0 +1,272 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/network"
+	"repro/internal/trace"
+)
+
+// Memory-tier capacity bounds: a long-lived daemon must not grow without
+// limit under adversarial or merely enthusiastic upload traffic. Traces
+// can be megabytes, platforms are a few hundred bytes; the bounds differ
+// accordingly. Storing content already present never counts against them.
+const (
+	maxStoredTraces    = 1024
+	maxStoredPlatforms = 65536
+)
+
+// ErrStoreFull reports a memory tier at capacity; the HTTP layer maps it
+// to 507 Insufficient Storage.
+var ErrStoreFull = errors.New("service: artifact store full")
+
+// Store is the content-addressed artifact store of the service: traces and
+// platforms are stored and retrieved by digest ("sha256:..."). The memory
+// tier is authoritative for the running process; the optional disk tier
+// (Dir != "") persists artifacts across restarts and is consulted on
+// memory misses. Because names are content addresses, disk entries are
+// verified against their digest on load — a corrupted file is reported,
+// never served.
+type Store struct {
+	dir string
+
+	mu        sync.Mutex
+	traces    map[string]*trace.Trace
+	platforms map[string]network.Platform
+}
+
+// NewStore returns a store with a memory tier and, when dir is non-empty,
+// a disk tier rooted there (created if missing).
+func NewStore(dir string) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: store dir: %w", err)
+		}
+	}
+	return &Store{
+		dir:       dir,
+		traces:    make(map[string]*trace.Trace),
+		platforms: make(map[string]network.Platform),
+	}, nil
+}
+
+// tracePath and platformPath name the disk-tier files. The "sha256:"
+// prefix becomes "sha256-" so names stay portable.
+func (s *Store) tracePath(digest string) string {
+	return filepath.Join(s.dir, strings.ReplaceAll(digest, ":", "-")+".dimbin")
+}
+
+func (s *Store) platformPath(digest string) string {
+	return filepath.Join(s.dir, strings.ReplaceAll(digest, ":", "-")+".platform.json")
+}
+
+// PutTrace stores a validated trace and returns its digest. Storing the
+// same content twice is an idempotent no-op. The disk tier is written
+// before the memory tier commits, so a failed disk write fails the whole
+// put and a retry really retries — success always means "persisted
+// everywhere the store is configured to persist".
+func (s *Store) PutTrace(t *trace.Trace) (string, error) {
+	if err := t.Validate(); err != nil {
+		return "", fmt.Errorf("service: store trace: %w", err)
+	}
+	digest, err := trace.Digest(t)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if _, seen := s.traces[digest]; seen {
+		s.mu.Unlock()
+		return digest, nil
+	}
+	if len(s.traces) >= maxStoredTraces {
+		s.mu.Unlock()
+		return "", fmt.Errorf("%w: %d traces", ErrStoreFull, maxStoredTraces)
+	}
+	s.mu.Unlock()
+	if s.dir != "" {
+		var buf bytes.Buffer
+		if err := trace.WriteBinary(&buf, t); err != nil {
+			return "", err
+		}
+		if err := atomicWrite(s.tracePath(digest), buf.Bytes()); err != nil {
+			return "", fmt.Errorf("service: store trace to disk: %w", err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, seen := s.traces[digest]; !seen {
+		if len(s.traces) >= maxStoredTraces {
+			return "", fmt.Errorf("%w: %d traces", ErrStoreFull, maxStoredTraces)
+		}
+		s.traces[digest] = t
+	}
+	return digest, nil
+}
+
+// GetTrace resolves a digest to its trace, trying memory then disk. A disk
+// hit is re-verified against the digest and promoted to memory.
+func (s *Store) GetTrace(digest string) (*trace.Trace, error) {
+	if !trace.ValidDigest(digest) {
+		return nil, fmt.Errorf("service: malformed trace digest %q", digest)
+	}
+	s.mu.Lock()
+	t, ok := s.traces[digest]
+	s.mu.Unlock()
+	if ok {
+		return t, nil
+	}
+	if s.dir == "" {
+		return nil, fmt.Errorf("service: unknown trace %s", digest)
+	}
+	f, err := os.Open(s.tracePath(digest))
+	if err != nil {
+		return nil, fmt.Errorf("service: unknown trace %s", digest)
+	}
+	defer f.Close()
+	t, err = trace.ReadBinary(f)
+	if err != nil {
+		return nil, fmt.Errorf("service: disk trace %s: %w", digest, err)
+	}
+	got, err := trace.Digest(t)
+	if err != nil {
+		return nil, err
+	}
+	if got != digest {
+		return nil, fmt.Errorf("service: disk trace %s corrupted (content digests %s)", digest, got)
+	}
+	// Promote to the memory tier only while under the cap; a full tier
+	// still serves the disk copy, it just stays cold.
+	s.mu.Lock()
+	if len(s.traces) < maxStoredTraces {
+		s.traces[digest] = t
+	}
+	s.mu.Unlock()
+	return t, nil
+}
+
+// PutPlatform stores a validated platform and returns its digest, with
+// the same disk-before-memory commit order as PutTrace.
+func (s *Store) PutPlatform(p network.Platform) (string, error) {
+	digest, err := p.Digest() // validates
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if _, seen := s.platforms[digest]; seen {
+		s.mu.Unlock()
+		return digest, nil
+	}
+	if len(s.platforms) >= maxStoredPlatforms {
+		s.mu.Unlock()
+		return "", fmt.Errorf("%w: %d platforms", ErrStoreFull, maxStoredPlatforms)
+	}
+	s.mu.Unlock()
+	if s.dir != "" {
+		var buf bytes.Buffer
+		if err := p.WriteJSON(&buf); err != nil {
+			return "", err
+		}
+		if err := atomicWrite(s.platformPath(digest), buf.Bytes()); err != nil {
+			return "", fmt.Errorf("service: store platform to disk: %w", err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, seen := s.platforms[digest]; !seen {
+		if len(s.platforms) >= maxStoredPlatforms {
+			return "", fmt.Errorf("%w: %d platforms", ErrStoreFull, maxStoredPlatforms)
+		}
+		s.platforms[digest] = p
+	}
+	return digest, nil
+}
+
+// GetPlatform resolves a digest to its platform, trying memory then disk.
+func (s *Store) GetPlatform(digest string) (network.Platform, error) {
+	// Same digest grammar as traces; rejecting malformed input here also
+	// keeps attacker-controlled strings out of the disk tier's paths.
+	if !trace.ValidDigest(digest) {
+		return network.Platform{}, fmt.Errorf("service: malformed platform digest %q", digest)
+	}
+	s.mu.Lock()
+	p, ok := s.platforms[digest]
+	s.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	if s.dir == "" {
+		return network.Platform{}, fmt.Errorf("service: unknown platform %s", digest)
+	}
+	f, err := os.Open(s.platformPath(digest))
+	if err != nil {
+		return network.Platform{}, fmt.Errorf("service: unknown platform %s", digest)
+	}
+	defer f.Close()
+	p, err = network.ReadAnyPlatform(f)
+	if err != nil {
+		return network.Platform{}, fmt.Errorf("service: disk platform %s: %w", digest, err)
+	}
+	got, err := p.Digest()
+	if err != nil {
+		return network.Platform{}, err
+	}
+	if got != digest {
+		return network.Platform{}, fmt.Errorf("service: disk platform %s corrupted (content digests %s)", digest, got)
+	}
+	s.mu.Lock()
+	if len(s.platforms) < maxStoredPlatforms {
+		s.platforms[digest] = p
+	}
+	s.mu.Unlock()
+	return p, nil
+}
+
+// TraceDigests lists the digests of every trace in the memory tier,
+// sorted.
+func (s *Store) TraceDigests() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.traces))
+	for d := range s.traces {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Counts reports how many traces and platforms the memory tier holds.
+func (s *Store) Counts() (traces, platforms int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.traces), len(s.platforms)
+}
+
+// atomicWrite writes data via a temp file + rename, so a crashed write
+// never leaves a half-written artifact under a content address.
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/trace"
+)
+
+func testTrace() *trace.Trace {
+	t := trace.New("store-test", "base", 2)
+	t.Append(0, trace.Record{Kind: trace.KindCompute, Instr: 1000})
+	t.Append(0, trace.Record{Kind: trace.KindSend, Peer: 1, Tag: 1, Bytes: 800, MsgID: 1})
+	t.Append(1, trace.Record{Kind: trace.KindRecv, Peer: 0, Tag: 1, Bytes: 800, MsgID: 1})
+	t.Append(1, trace.Record{Kind: trace.KindCompute, Instr: 500})
+	return t
+}
+
+func TestStoreMemoryTier(t *testing.T) {
+	s, err := NewStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrace()
+	d, err := s.PutTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trace.ValidDigest(d) {
+		t.Fatalf("malformed digest %q", d)
+	}
+	got, err := s.GetTrace(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tr {
+		t.Fatal("memory tier returned a different object")
+	}
+	// Idempotent second put.
+	d2, err := s.PutTrace(testTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 != d {
+		t.Fatalf("same content, different digests: %s vs %s", d, d2)
+	}
+	if traces, _ := s.Counts(); traces != 1 {
+		t.Fatalf("store holds %d traces, want 1", traces)
+	}
+	if _, err := s.GetTrace("sha256:" + strings.Repeat("0", 64)); err == nil {
+		t.Fatal("unknown digest resolved")
+	}
+	if _, err := s.GetTrace("not-a-digest"); err == nil {
+		t.Fatal("malformed digest resolved")
+	}
+}
+
+func TestStoreDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := s1.PutTrace(testTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := network.Testbed(4).Platform()
+	pd, err := s1.PutPlatform(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second store over the same directory — a daemon restart — serves
+	// both artifacts from disk.
+	s2, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s2.GetTrace(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := trace.Digest(tr); got != td {
+		t.Fatalf("disk trace digest %s, want %s", got, td)
+	}
+	p, err := s2.GetPlatform(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := p.Digest(); got != pd {
+		t.Fatalf("disk platform digest %s, want %s", got, pd)
+	}
+}
+
+func TestStoreDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := s1.PutTrace(testTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap the file's content for a different (valid) trace: the content
+	// no longer matches its address.
+	other := testTrace()
+	other.Name = "tampered"
+	path := filepath.Join(dir, strings.ReplaceAll(td, ":", "-")+".dimbin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBinary(f, other); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.GetTrace(td); err == nil || !strings.Contains(err.Error(), "corrupted") {
+		t.Fatalf("corruption not detected: %v", err)
+	}
+}
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted early")
+	}
+	c.Put("c", []byte("3")) // evicts b (least recently used)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived past capacity")
+	}
+	if v, ok := c.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("a lost: %q %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || string(v) != "3" {
+		t.Fatalf("c lost: %q %v", v, ok)
+	}
+	hits, misses := c.Counters()
+	if hits != 3 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 3/1", hits, misses)
+	}
+
+	disabled := newResultCache(-1)
+	disabled.Put("x", []byte("1"))
+	if _, ok := disabled.Get("x"); ok {
+		t.Fatal("disabled cache cached")
+	}
+}

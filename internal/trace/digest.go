@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+)
+
+// DigestPrefix tags every trace digest with the hash algorithm, so a
+// digest string is self-describing and future algorithms can coexist.
+const DigestPrefix = "sha256:"
+
+// Digest returns the content address of the trace: the SHA-256 of its
+// binary encoding, spelled "sha256:<64 hex digits>". The binary codec is
+// canonical — field order is fixed and carries no timestamps or padding —
+// so two traces digest equal exactly when they are semantically equal,
+// regardless of which codec they travelled through. The digest is the key
+// of the service layer's content-addressed trace store and result cache.
+func Digest(t *Trace) (string, error) {
+	h := sha256.New()
+	if err := WriteBinary(h, t); err != nil {
+		return "", err
+	}
+	return DigestPrefix + hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// ValidDigest reports whether s is a well-formed trace digest string.
+func ValidDigest(s string) bool {
+	if !strings.HasPrefix(s, DigestPrefix) {
+		return false
+	}
+	hx := s[len(DigestPrefix):]
+	if len(hx) != 2*sha256.Size {
+		return false
+	}
+	_, err := hex.DecodeString(hx)
+	return err == nil
+}

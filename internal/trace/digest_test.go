@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyTraceDigest is the pinned digest of tinyTrace(). It changes only if
+// the binary codec's byte layout changes — which would also invalidate
+// every stored artifact, so this test is the tripwire for accidental
+// format drift.
+const tinyTraceDigest = "sha256:d41bae55018861246443d2a8939e40b93e20341ea6b382134a33bcd800d0c1cf"
+
+func TestDigestStable(t *testing.T) {
+	d1, err := Digest(tinyTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Digest(tinyTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("digest not deterministic: %s vs %s", d1, d2)
+	}
+	if d1 != tinyTraceDigest {
+		t.Fatalf("binary codec layout drifted: digest %s, pinned %s", d1, tinyTraceDigest)
+	}
+}
+
+func TestDigestRoundTrip(t *testing.T) {
+	tr := tinyTrace()
+	want, err := Digest(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binary round trip preserves the digest.
+	var bin bytes.Buffer
+	if err := WriteBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := ReadBinary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := Digest(fromBin); got != want {
+		t.Fatalf("binary round trip changed digest: %s vs %s", got, want)
+	}
+	// Text round trip converges on the same digest: the digest addresses
+	// content, not the codec the trace travelled through.
+	var txt bytes.Buffer
+	if err := Write(&txt, tr); err != nil {
+		t.Fatal(err)
+	}
+	fromTxt, err := Read(&txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := Digest(fromTxt); got != want {
+		t.Fatalf("text round trip changed digest: %s vs %s", got, want)
+	}
+}
+
+func TestDigestDistinguishesTraces(t *testing.T) {
+	base, _ := Digest(tinyTrace())
+	mutants := []func(*Trace){
+		func(tr *Trace) { tr.Name = "other" },
+		func(tr *Trace) { tr.Flavor = "overlap-real" },
+		func(tr *Trace) { tr.Ranks[0].Records[0].Instr++ },
+		func(tr *Trace) { tr.Append(1, Record{Kind: KindWaitAll}) },
+	}
+	for i, mutate := range mutants {
+		tr := tinyTrace()
+		mutate(tr)
+		got, err := Digest(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == base {
+			t.Errorf("mutant %d digests equal to the original", i)
+		}
+	}
+}
+
+func TestValidDigest(t *testing.T) {
+	good, _ := Digest(tinyTrace())
+	if !ValidDigest(good) {
+		t.Errorf("real digest rejected: %s", good)
+	}
+	for _, bad := range []string{
+		"",
+		"sha256:",
+		"sha256:zz",
+		strings.TrimPrefix(good, "sha256:"),
+		"md5:" + strings.TrimPrefix(good, "sha256:"),
+		good + "00",
+		"sha256:" + strings.Repeat("Z", 64),
+	} {
+		if ValidDigest(bad) {
+			t.Errorf("bad digest accepted: %q", bad)
+		}
+	}
+}
