@@ -439,7 +439,9 @@ func ringTrace(n, iters int, instr, bytes int64) *trace.Trace {
 }
 
 // BenchmarkSimulatorReplay measures the discrete-event engine: records
-// replayed per second on a 32-rank ring.
+// replayed per second on a 32-rank ring. Each iteration pays the full
+// one-shot cost (compile + replay + fresh state); BenchmarkSimCompiledReplay
+// measures the amortized sweep path.
 func BenchmarkSimulatorReplay(b *testing.B) {
 	tr := ringTrace(32, 50, 100_000, 10_000)
 	cfg := network.Testbed(32)
@@ -447,6 +449,7 @@ func BenchmarkSimulatorReplay(b *testing.B) {
 	for r := range tr.Ranks {
 		records += len(tr.Ranks[r].Records)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(cfg, tr); err != nil {
@@ -454,6 +457,51 @@ func BenchmarkSimulatorReplay(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(records), "records/replay")
+}
+
+// BenchmarkSimCompiledReplay measures the steady-state sweep path: one
+// compiled program replayed on a warm arena — the cost of every sweep
+// point after the first. allocs/op must stay ~0: the zero-alloc property
+// is also pinned by TestReplayAllocs* in internal/sim.
+func BenchmarkSimCompiledReplay(b *testing.B) {
+	tr := ringTrace(32, 50, 100_000, 10_000)
+	records := 0
+	for r := range tr.Ranks {
+		records += len(tr.Ranks[r].Records)
+	}
+	multi, err := network.PlatformPreset("fatnode-smp", 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		plat network.Platform
+	}{
+		{"flat-degenerate", network.Testbed(32).Platform()},
+		{"fatnode-block", multi},
+		{"fatnode-rr", multi.WithMapping(network.RoundRobinMapping())},
+	}
+	prog, err := sim.Compile(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			arena := sim.NewArena()
+			if _, err := arena.RunProgram(tc.plat, prog); err != nil {
+				b.Fatal(err) // warm the arena's buffers
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := arena.RunProgram(tc.plat, prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(records), "records/replay")
+		})
+	}
 }
 
 // BenchmarkSimHierarchical measures the hierarchical replay path on the
@@ -483,6 +531,7 @@ func BenchmarkSimHierarchical(b *testing.B) {
 		tc := tc
 		b.Run(tc.name, func(b *testing.B) {
 			var intra int64
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := sim.RunOn(tc.plat, tr)
 				if err != nil {

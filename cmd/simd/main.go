@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,6 +37,7 @@ func main() {
 	workers := flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
 	cacheEntries := flag.Int("cache", service.DefaultCacheEntries, "result cache capacity in entries (0 or negative disables)")
 	storeDir := flag.String("store-dir", "", "disk tier for the content-addressed artifact store (empty = memory only)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling; leave off in untrusted networks)")
 	flag.Parse()
 
 	store, err := service.NewStore(*storeDir)
@@ -60,9 +62,23 @@ func main() {
 		os.Exit(1)
 	}
 
+	handler := service.NewHandler(mgr)
+	if *pprofOn {
+		// Explicit registrations on a private mux: the daemon never
+		// serves http.DefaultServeMux, so the import's side effects
+		// alone would expose nothing.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewHandler(mgr),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -13,6 +13,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/metrics"
@@ -66,6 +67,35 @@ type Report struct {
 
 	// Patterns holds the Table II / Fig. 5 analysis.
 	Patterns *pattern.Analysis
+
+	// progs lazily caches the compiled replay program of each flavour, so
+	// the bandwidth searches and sweeps — which replay one flavour dozens
+	// of times on platform variants — compile it once.
+	progMu sync.Mutex
+	progs  map[Flavor]*sim.Program
+}
+
+// programOf returns the flavour's compiled replay program, compiling and
+// caching it on first use. Safe for concurrent use.
+func (r *Report) programOf(f Flavor) (*sim.Program, error) {
+	tr := r.TraceOf(f)
+	if tr == nil {
+		return nil, fmt.Errorf("core: unknown flavor %q", f)
+	}
+	r.progMu.Lock()
+	defer r.progMu.Unlock()
+	if prog, ok := r.progs[f]; ok {
+		return prog, nil
+	}
+	prog, err := sim.Compile(tr)
+	if err != nil {
+		return nil, err
+	}
+	if r.progs == nil {
+		r.progs = make(map[Flavor]*sim.Program, 3)
+	}
+	r.progs[f] = prog
+	return prog, nil
 }
 
 // Analyze traces the application once on ranks processes and reconstructs
@@ -198,17 +228,16 @@ func (r *Report) FinishAt(f Flavor, cfg network.Config) (float64, error) {
 }
 
 // FinishOn replays one flavour's trace on a modified hierarchical platform
-// and returns its makespan.
+// and returns its makespan. The flavour's compiled program is cached on
+// the report and the replay runs on a pooled arena, so search loops
+// (metrics.MinBandwidth probes this dozens of times) pay for compilation
+// once and allocate no per-replay simulator state.
 func (r *Report) FinishOn(f Flavor, plat network.Platform) (float64, error) {
-	tr := r.TraceOf(f)
-	if tr == nil {
-		return 0, fmt.Errorf("core: unknown flavor %q", f)
-	}
-	res, err := sim.RunOn(plat, tr)
+	prog, err := r.programOf(f)
 	if err != nil {
 		return 0, err
 	}
-	return res.FinishSec, nil
+	return sim.ReplayFinish(plat, prog)
 }
 
 // finishFunc adapts FinishOn to the metrics search interface, swapping

@@ -46,8 +46,12 @@ func MappingSweepWith(ctx context.Context, eng *engine.Engine, app App, ranks in
 	if err != nil {
 		return nil, err
 	}
+	progs, err := compilePlacementPrograms(run)
+	if err != nil {
+		return nil, err
+	}
 	return engine.Map(ctx, eng, len(mappings), func(ctx context.Context, i int) (MappingPoint, error) {
-		return MappingPointOf(run, plat.WithMapping(mappings[i]))
+		return progs.point(plat.WithMapping(mappings[i]))
 	})
 }
 
@@ -82,8 +86,12 @@ func NodeCountSweepWith(ctx context.Context, eng *engine.Engine, app App, ranks 
 	if err != nil {
 		return nil, err
 	}
+	progs, err := compilePlacementPrograms(run)
+	if err != nil {
+		return nil, err
+	}
 	return engine.Map(ctx, eng, len(nodeCounts), func(ctx context.Context, i int) (NodeCountPoint, error) {
-		mp, err := MappingPointOf(run, plat.WithNodes(nodeCounts[i]))
+		mp, err := progs.point(plat.WithNodes(nodeCounts[i]))
 		if err != nil {
 			return NodeCountPoint{}, fmt.Errorf("core: %d nodes: %w", nodeCounts[i], err)
 		}
@@ -114,38 +122,91 @@ func placementPrelude(app App, ranks int, plat network.Platform, tCfg tracer.Con
 	return run, nil
 }
 
-// MappingPointOf replays the base and overlapped(real) traces of one
-// already-traced run on one platform variant — the unit of both sweeps,
-// exported for callers that reuse a run from the engine's trace cache.
-func MappingPointOf(run *tracer.Run, plat network.Platform) (MappingPoint, error) {
-	if err := plat.Validate(); err != nil {
-		return MappingPoint{}, err
-	}
+// placementPrograms is the compiled (base, overlapped-real) trace pair a
+// placement sweep replays at every point.
+type placementPrograms struct {
+	base, real *sim.Program
+}
+
+// compilePlacementPrograms builds, validates, and compiles the two traces
+// once, so an N-point sweep replays N times but compiles twice.
+func compilePlacementPrograms(run *tracer.Run) (placementPrograms, error) {
 	base := run.BaseTrace()
 	if err := base.Validate(); err != nil {
-		return MappingPoint{}, err
+		return placementPrograms{}, err
 	}
-	baseRes, err := sim.RunOn(plat, base)
+	basePg, err := sim.Compile(base)
 	if err != nil {
-		return MappingPoint{}, fmt.Errorf("core: mapping %s base: %w", plat.Mapping, err)
+		return placementPrograms{}, err
 	}
 	real := run.OverlapReal()
 	if err := real.Validate(); err != nil {
+		return placementPrograms{}, err
+	}
+	realPg, err := sim.Compile(real)
+	if err != nil {
+		return placementPrograms{}, err
+	}
+	return placementPrograms{base: basePg, real: realPg}, nil
+}
+
+// point measures one platform variant: both replays run on pooled arenas
+// and only scalar summaries are retained.
+func (p placementPrograms) point(plat network.Platform) (MappingPoint, error) {
+	if err := plat.Validate(); err != nil {
 		return MappingPoint{}, err
 	}
-	realRes, err := sim.RunOn(plat, real)
+	baseSum, err := sim.ReplaySummary(plat, p.base)
+	if err != nil {
+		return MappingPoint{}, fmt.Errorf("core: mapping %s base: %w", plat.Mapping, err)
+	}
+	realFin, err := sim.ReplayFinish(plat, p.real)
 	if err != nil {
 		return MappingPoint{}, fmt.Errorf("core: mapping %s real: %w", plat.Mapping, err)
 	}
-	ib, eb, _, _ := baseRes.TrafficSplit()
 	return MappingPoint{
 		Mapping:       plat.Mapping,
-		BaseFinishSec: baseRes.FinishSec,
-		RealFinishSec: realRes.FinishSec,
-		SpeedupReal:   metrics.Speedup(baseRes.FinishSec, realRes.FinishSec),
-		IntraBytes:    ib,
-		InterBytes:    eb,
+		BaseFinishSec: baseSum.FinishSec,
+		RealFinishSec: realFin,
+		SpeedupReal:   metrics.Speedup(baseSum.FinishSec, realFin),
+		IntraBytes:    baseSum.IntraBytes,
+		InterBytes:    baseSum.InterBytes,
 	}, nil
+}
+
+// PlacementReplayer replays one traced run's (base, overlapped-real) pair
+// across platform variants, compiling both traces exactly once. External
+// sweep drivers (the service's mapping-sweep jobs) use it to share the
+// compiled programs over all points.
+type PlacementReplayer struct {
+	progs placementPrograms
+}
+
+// NewPlacementReplayer builds, validates, and compiles the pair.
+func NewPlacementReplayer(run *tracer.Run) (*PlacementReplayer, error) {
+	progs, err := compilePlacementPrograms(run)
+	if err != nil {
+		return nil, err
+	}
+	return &PlacementReplayer{progs: progs}, nil
+}
+
+// Point measures one platform variant. Safe for concurrent use.
+func (p *PlacementReplayer) Point(plat network.Platform) (MappingPoint, error) {
+	return p.progs.point(plat)
+}
+
+// MappingPointOf replays the base and overlapped(real) traces of one
+// already-traced run on one platform variant — the unit of both sweeps,
+// exported for callers that reuse a run from the engine's trace cache.
+// Sweeping many variants should go through NewPlacementReplayer, which
+// compiles the pair once instead of per point.
+func MappingPointOf(run *tracer.Run, plat network.Platform) (MappingPoint, error) {
+	progs, err := compilePlacementPrograms(run)
+	if err != nil {
+		return MappingPoint{}, err
+	}
+	return progs.point(plat)
 }
 
 // FormatMappingPoints renders a placement sweep as a table.

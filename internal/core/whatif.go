@@ -85,24 +85,30 @@ func WhatIfRunOn(ctx context.Context, eng *engine.Engine, run *tracer.Run, plat 
 	if err := plat.Validate(); err != nil {
 		return nil, err
 	}
-	refs, err := engine.Map(ctx, eng, 2, func(ctx context.Context, i int) (*sim.Result, error) {
+	// Every replay of the study retains only its makespan, so all of them
+	// run as compiled programs on pooled arenas.
+	refs, err := engine.Map(ctx, eng, 2, func(ctx context.Context, i int) (float64, error) {
 		tr := run.BaseTrace()
 		if i == 1 {
 			tr = run.OverlapReal()
 		}
 		if err := tr.Validate(); err != nil {
-			return nil, err
+			return 0, err
 		}
-		return sim.RunOn(plat, tr)
+		prog, err := sim.Compile(tr)
+		if err != nil {
+			return 0, err
+		}
+		return sim.ReplayFinish(plat, prog)
 	})
 	if err != nil {
 		return nil, err
 	}
-	baseRes, realRes := refs[0], refs[1]
+	baseFin, realFin := refs[0], refs[1]
 	rep := &WhatIfReport{
 		App:           run.Name,
-		BaseFinishSec: baseRes.FinishSec,
-		RealFinishSec: realRes.FinishSec,
+		BaseFinishSec: baseFin,
+		RealFinishSec: realFin,
 	}
 	names := run.BufferNames()
 	rep.Buffers, err = engine.Map(ctx, eng, len(names), func(ctx context.Context, i int) (BufferPotential, error) {
@@ -111,15 +117,19 @@ func WhatIfRunOn(ctx context.Context, eng *engine.Engine, run *tracer.Run, plat 
 		if err := tr.Validate(); err != nil {
 			return BufferPotential{}, fmt.Errorf("core: selective trace for %q: %w", name, err)
 		}
-		res, err := sim.RunOn(plat, tr)
+		prog, err := sim.Compile(tr)
+		if err != nil {
+			return BufferPotential{}, fmt.Errorf("core: compiling selective %q: %w", name, err)
+		}
+		fin, err := sim.ReplayFinish(plat, prog)
 		if err != nil {
 			return BufferPotential{}, fmt.Errorf("core: replaying selective %q: %w", name, err)
 		}
 		return BufferPotential{
 			Buffer:       name,
-			FinishSec:    res.FinishSec,
-			Speedup:      metrics.Speedup(baseRes.FinishSec, res.FinishSec),
-			GainOverReal: metrics.Speedup(realRes.FinishSec, res.FinishSec),
+			FinishSec:    fin,
+			Speedup:      metrics.Speedup(baseFin, fin),
+			GainOverReal: metrics.Speedup(realFin, fin),
 		}, nil
 	})
 	if err != nil {

@@ -1,8 +1,11 @@
 package engine
 
 import (
+	"fmt"
 	"sync"
 
+	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/tracer"
 )
 
@@ -35,6 +38,19 @@ type traceEntry struct {
 	once sync.Once
 	run  *tracer.Run
 	err  error
+
+	// compiled memoizes, per flavor, the built trace together with its
+	// replay program, so repeated sweeps over one cached run share one
+	// trace build, one validation, and one compilation.
+	compiledMu sync.Mutex
+	compiled   map[string]*compiledFlavor
+}
+
+type compiledFlavor struct {
+	once sync.Once
+	tr   *trace.Trace
+	prog *sim.Program
+	err  error
 }
 
 // NewTraceCache returns an empty cache.
@@ -46,6 +62,19 @@ func NewTraceCache() *TraceCache {
 // application on a miss. Failed traces are cached too: retrying a
 // deterministic failure would only repeat it.
 func (c *TraceCache) Trace(name string, ranks int, cfg tracer.Config, kernel func(p *tracer.Proc)) (*tracer.Run, error) {
+	return c.entry(name, ranks, cfg).trace(name, ranks, cfg, kernel)
+}
+
+// trace resolves the entry's run, tracing on first use.
+func (ent *traceEntry) trace(name string, ranks int, cfg tracer.Config, kernel func(p *tracer.Proc)) (*tracer.Run, error) {
+	ent.once.Do(func() {
+		ent.run, ent.err = tracer.Trace(name, ranks, cfg, kernel)
+	})
+	return ent.run, ent.err
+}
+
+// entry returns (creating if needed) the cache slot for one triple.
+func (c *TraceCache) entry(name string, ranks int, cfg tracer.Config) *traceEntry {
 	key := traceKey{name: name, ranks: ranks, cfg: cfg}
 	c.mu.Lock()
 	ent, ok := c.m[key]
@@ -54,10 +83,62 @@ func (c *TraceCache) Trace(name string, ranks int, cfg tracer.Config, kernel fun
 		c.m[key] = ent
 	}
 	c.mu.Unlock()
-	ent.once.Do(func() {
-		ent.run, ent.err = tracer.Trace(name, ranks, cfg, kernel)
+	return ent
+}
+
+// Flavor names accepted by CompiledTrace, matching trace.Trace.Flavor.
+const (
+	FlavorBase  = "base"
+	FlavorReal  = "overlap-real"
+	FlavorIdeal = "overlap-ideal"
+)
+
+// CompiledTrace returns one flavor of the cached run as a validated trace
+// plus its compiled replay program. The trace build, validation, and
+// compilation all run once per (triple, flavor) and are shared by every
+// later caller — the entry point for sweep paths that replay one flavour
+// many times.
+func (c *TraceCache) CompiledTrace(name string, ranks int, cfg tracer.Config, kernel func(p *tracer.Proc), flavor string) (*trace.Trace, *sim.Program, error) {
+	ent := c.entry(name, ranks, cfg)
+	run, err := ent.trace(name, ranks, cfg, kernel)
+	if err != nil {
+		return nil, nil, err
+	}
+	var build func() *trace.Trace
+	switch flavor {
+	case FlavorBase:
+		build = run.BaseTrace
+	case FlavorReal:
+		build = run.OverlapReal
+	case FlavorIdeal:
+		build = run.OverlapIdeal
+	default:
+		return nil, nil, fmt.Errorf("engine: unknown trace flavor %q", flavor)
+	}
+	ent.compiledMu.Lock()
+	if ent.compiled == nil {
+		ent.compiled = make(map[string]*compiledFlavor)
+	}
+	cf, ok := ent.compiled[flavor]
+	if !ok {
+		cf = &compiledFlavor{}
+		ent.compiled[flavor] = cf
+	}
+	ent.compiledMu.Unlock()
+	cf.once.Do(func() {
+		tr := build()
+		if err := tr.Validate(); err != nil {
+			cf.err = fmt.Errorf("engine: generated %s trace invalid: %w", flavor, err)
+			return
+		}
+		prog, err := sim.Compile(tr)
+		if err != nil {
+			cf.err = err
+			return
+		}
+		cf.tr, cf.prog = tr, prog
 	})
-	return ent.run, ent.err
+	return cf.tr, cf.prog, cf.err
 }
 
 // Len reports how many distinct runs the cache holds (including cached

@@ -12,7 +12,9 @@ import (
 // returns the results in input order. Traces may repeat (replaying one
 // shared trace N times is race-free: the simulator never mutates its
 // trace) and nil results mark failed replays, whose errors come back
-// aggregated per index.
+// aggregated per index. Results are freshly allocated and owned by the
+// caller; workloads that only need makespans should prefer SweepFinish,
+// which reuses pooled replay arenas.
 func ReplayAll(ctx context.Context, e *Engine, cfg network.Config, traces []*trace.Trace) ([]*sim.Result, error) {
 	return Map(ctx, e, len(traces), func(ctx context.Context, i int) (*sim.Result, error) {
 		return sim.Run(cfg, traces[i])
@@ -21,9 +23,44 @@ func ReplayAll(ctx context.Context, e *Engine, cfg network.Config, traces []*tra
 
 // ReplayConfigs replays one trace on every platform configuration through
 // the pool — the shape of a bandwidth sweep — returning results in input
-// order.
+// order. The trace is compiled once and the program shared by every
+// replay.
 func ReplayConfigs(ctx context.Context, e *Engine, cfgs []network.Config, tr *trace.Trace) ([]*sim.Result, error) {
+	if tr == nil {
+		return nil, sim.ErrNilTrace
+	}
+	prog, err := sim.Compile(tr)
+	if err != nil {
+		return nil, err
+	}
 	return Map(ctx, e, len(cfgs), func(ctx context.Context, i int) (*sim.Result, error) {
-		return sim.Run(cfgs[i], tr)
+		if err := cfgs[i].Validate(); err != nil {
+			return nil, err
+		}
+		return sim.RunProgram(cfgs[i].Platform(), prog)
+	})
+}
+
+// SweepFinish replays one trace across platform variants through the pool
+// and returns only the makespans, in input order. The trace compiles once;
+// each point replays the shared program on a pooled arena, so a saturated
+// sweep allocates no per-replay simulator state.
+func SweepFinish(ctx context.Context, e *Engine, plats []network.Platform, tr *trace.Trace) ([]float64, error) {
+	if tr == nil {
+		return nil, sim.ErrNilTrace
+	}
+	prog, err := sim.Compile(tr)
+	if err != nil {
+		return nil, err
+	}
+	return SweepFinishProgram(ctx, e, plats, prog)
+}
+
+// SweepFinishProgram is SweepFinish for an already-compiled program (e.g.
+// one shared through TraceCache.CompiledTrace or a service-layer digest
+// cache).
+func SweepFinishProgram(ctx context.Context, e *Engine, plats []network.Platform, prog *sim.Program) ([]float64, error) {
+	return Map(ctx, e, len(plats), func(ctx context.Context, i int) (float64, error) {
+		return sim.ReplayFinish(plats[i], prog)
 	})
 }

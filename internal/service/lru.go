@@ -5,10 +5,10 @@ import (
 	"sync"
 )
 
-// resultCache is a small LRU of marshalled results keyed by request
-// digest. Values are immutable byte slices; callers must not modify what
-// Get returns. Safe for concurrent use.
-type resultCache struct {
+// lruCache is a small LRU keyed by digest strings. Values are treated as
+// immutable by convention; callers must not modify what Get returns. Safe
+// for concurrent use.
+type lruCache[V any] struct {
 	mu       sync.Mutex
 	capacity int
 	order    *list.List // front = most recently used
@@ -17,67 +17,75 @@ type resultCache struct {
 	hits, misses uint64
 }
 
-type cacheItem struct {
+type cacheItem[V any] struct {
 	key   string
-	value []byte
+	value V
 }
 
-// newResultCache returns an LRU holding at most capacity entries;
-// capacity <= 0 disables caching (every Get misses, Put is a no-op).
-func newResultCache(capacity int) *resultCache {
-	return &resultCache{
+// newLRU returns an LRU holding at most capacity entries; capacity <= 0
+// disables caching (every Get misses, Put is a no-op).
+func newLRU[V any](capacity int) *lruCache[V] {
+	return &lruCache[V]{
 		capacity: capacity,
 		order:    list.New(),
 		entries:  make(map[string]*list.Element),
 	}
 }
 
-// Get returns the cached bytes for key, marking the entry most recently
+// Get returns the cached value for key, marking the entry most recently
 // used.
-func (c *resultCache) Get(key string) ([]byte, bool) {
+func (c *lruCache[V]) Get(key string) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
 		c.misses++
-		return nil, false
+		var zero V
+		return zero, false
 	}
 	c.hits++
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheItem).value, true
+	return el.Value.(*cacheItem[V]).value, true
 }
 
 // Put inserts (or refreshes) key, evicting the least recently used entry
 // beyond capacity.
-func (c *resultCache) Put(key string, value []byte) {
+func (c *lruCache[V]) Put(key string, value V) {
 	if c.capacity <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheItem).value = value
+		el.Value.(*cacheItem[V]).value = value
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&cacheItem{key: key, value: value})
+	c.entries[key] = c.order.PushFront(&cacheItem[V]{key: key, value: value})
 	for c.order.Len() > c.capacity {
 		last := c.order.Back()
 		c.order.Remove(last)
-		delete(c.entries, last.Value.(*cacheItem).key)
+		delete(c.entries, last.Value.(*cacheItem[V]).key)
 	}
 }
 
-// Len reports how many results are cached.
-func (c *resultCache) Len() int {
+// Len reports how many entries are cached.
+func (c *lruCache[V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
 
 // Counters returns the lifetime hit/miss counts.
-func (c *resultCache) Counters() (hits, misses uint64) {
+func (c *lruCache[V]) Counters() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// resultCache is the LRU of marshalled results keyed by request digest.
+type resultCache = lruCache[[]byte]
+
+func newResultCache(capacity int) *resultCache {
+	return newLRU[[]byte](capacity)
 }

@@ -16,6 +16,8 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // DefaultCacheEntries is the result-cache capacity when Options leaves it
@@ -55,12 +57,39 @@ type Manager struct {
 	// in state pending.
 	slots chan struct{}
 
+	// progs is an LRU of compiled replay programs of stored traces, keyed
+	// by trace digest — the content address the artifact store already
+	// hands out — so repeated sweeps over one uploaded trace compile it
+	// once. LRU-bounded because a disk-tier store can resolve more
+	// digests than its memory bound, and a long-lived daemon must not
+	// accumulate a program per digest ever swept.
+	progs *lruCache[*sim.Program]
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string // job IDs in submission order, for listing/pruning
 	inflight map[string]*Job
 	seq      int64
 	deduped  uint64
+}
+
+// maxCompiledPrograms bounds the digest-keyed program cache, mirroring
+// the store's memory-tier trace capacity.
+const maxCompiledPrograms = 1024
+
+// compiledTrace returns the replay program for a stored trace, compiling
+// on a cache miss. Concurrent misses on one digest may compile twice;
+// both compilations yield equivalent immutable programs.
+func (m *Manager) compiledTrace(digest string, tr *trace.Trace) (*sim.Program, error) {
+	if prog, ok := m.progs.Get(digest); ok {
+		return prog, nil
+	}
+	prog, err := sim.Compile(tr)
+	if err != nil {
+		return nil, err
+	}
+	m.progs.Put(digest, prog)
+	return prog, nil
 }
 
 // NewManager builds a manager from opts.
@@ -85,6 +114,7 @@ func NewManager(opts Options) (*Manager, error) {
 		eng:      eng,
 		store:    store,
 		cache:    newResultCache(entries),
+		progs:    newLRU[*sim.Program](maxCompiledPrograms),
 		start:    time.Now(),
 		slots:    make(chan struct{}, eng.Workers()),
 		jobs:     make(map[string]*Job),

@@ -334,7 +334,13 @@ func (r BandwidthSweepRequest) prepare(m *Manager) (*task, error) {
 			kind: KindBandwidthSweep,
 			key:  key,
 			run: func(ctx context.Context, m *Manager) (any, error) {
-				points, err := sweepTrace(ctx, m.eng, tr, plat, bandwidths)
+				// Stored traces compile once per digest; every sweep of
+				// this trace after the first replays the cached program.
+				prog, err := m.compiledTrace(r.Trace, tr)
+				if err != nil {
+					return nil, err
+				}
+				points, err := sweepProgram(ctx, m.eng, prog, plat, bandwidths)
 				if err != nil {
 					return nil, err
 				}
@@ -386,27 +392,18 @@ func (r BandwidthSweepRequest) prepare(m *Manager) (*task, error) {
 		kind: KindBandwidthSweep,
 		key:  key,
 		run: func(ctx context.Context, m *Manager) (any, error) {
-			run, err := m.eng.Traces().Trace(r.App, r.Ranks, tCfg, app.Kernel)
+			// The engine's trace cache hands back the flavour trace
+			// together with its compiled program: build, validation, and
+			// compilation are shared across requests for this app triple.
+			tr, prog, err := m.eng.Traces().CompiledTrace(r.App, r.Ranks, tCfg, app.Kernel, string(flavor))
 			if err != nil {
-				return nil, err
-			}
-			var tr *trace.Trace
-			switch flavor {
-			case core.FlavorBase:
-				tr = run.BaseTrace()
-			case core.FlavorReal:
-				tr = run.OverlapReal()
-			default:
-				tr = run.OverlapIdeal()
-			}
-			if err := tr.Validate(); err != nil {
 				return nil, err
 			}
 			traceDigest, err := trace.Digest(tr)
 			if err != nil {
 				return nil, err
 			}
-			points, err := sweepTrace(ctx, m.eng, tr, plat, bandwidths)
+			points, err := sweepProgram(ctx, m.eng, prog, plat, bandwidths)
 			if err != nil {
 				return nil, err
 			}
@@ -421,15 +418,13 @@ func (r BandwidthSweepRequest) prepare(m *Manager) (*task, error) {
 	}, nil
 }
 
-// sweepTrace fans the per-bandwidth replays of one trace out across the
-// engine, keeping the input order.
-func sweepTrace(ctx context.Context, eng *engine.Engine, tr *trace.Trace, plat network.Platform, bandwidths []float64) ([]core.WireSweepPoint, error) {
+// sweepProgram fans the per-bandwidth replays of one compiled program out
+// across the engine, keeping the input order. Each point replays on a
+// pooled arena — a saturated sweep allocates no per-replay simulator
+// state.
+func sweepProgram(ctx context.Context, eng *engine.Engine, prog *sim.Program, plat network.Platform, bandwidths []float64) ([]core.WireSweepPoint, error) {
 	fins, err := engine.Map(ctx, eng, len(bandwidths), func(ctx context.Context, i int) (float64, error) {
-		res, err := sim.RunOn(plat.WithInterBandwidth(bandwidths[i]), tr)
-		if err != nil {
-			return 0, err
-		}
-		return res.FinishSec, nil
+		return sim.ReplayFinish(plat.WithInterBandwidth(bandwidths[i]), prog)
 	})
 	if err != nil {
 		return nil, err
@@ -514,8 +509,12 @@ func (r MappingSweepRequest) prepare(m *Manager) (*task, error) {
 			if err != nil {
 				return nil, err
 			}
+			replayer, err := core.NewPlacementReplayer(run)
+			if err != nil {
+				return nil, err
+			}
 			pts, err := engine.Map(ctx, m.eng, len(mappings), func(ctx context.Context, i int) (core.MappingPoint, error) {
-				return core.MappingPointOf(run, plat.WithMapping(mappings[i]))
+				return replayer.Point(plat.WithMapping(mappings[i]))
 			})
 			if err != nil {
 				return nil, err

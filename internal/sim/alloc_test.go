@@ -1,0 +1,122 @@
+//go:build !race
+
+// The race detector instruments allocations, so the zero-alloc pins only
+// run in regular test builds; -race runs still execute the equivalence
+// suite in program_test.go.
+
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/trace"
+)
+
+// allocRing builds the bench-shaped ring-exchange trace.
+func allocRing(n, iters int) *trace.Trace {
+	tr := trace.New("ring", "base", n)
+	for it := 0; it < iters; it++ {
+		for r := 0; r < n; r++ {
+			next := (r + 1) % n
+			prev := (r + n - 1) % n
+			tr.Append(r, trace.Record{Kind: trace.KindCompute, Instr: 100_000})
+			tr.Append(r, trace.Record{Kind: trace.KindISend, Peer: next, Tag: it, Bytes: 10_000})
+			tr.Append(r, trace.Record{Kind: trace.KindRecv, Peer: prev, Tag: it, Bytes: 10_000})
+		}
+	}
+	return tr
+}
+
+// pinReplayAllocs replays prog on a warm arena and fails if the replay
+// allocates more than maxPerReplay — the regression guard for the
+// zero-alloc property. The bound is a handful of allocations per *replay*
+// (not per record): runtime-internal bookkeeping can show up sporadically,
+// but per-record allocation (the old engine's closures and map inserts
+// cost ~5 allocs/record) trips it immediately.
+func pinReplayAllocs(t *testing.T, plat network.Platform, tr *trace.Trace, maxPerReplay float64) {
+	t.Helper()
+	prog, err := Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := NewArena()
+	for i := 0; i < 3; i++ { // warm every buffer past its high-water mark
+		if _, err := arena.RunProgram(plat, prog); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := arena.RunProgram(plat, prog); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > maxPerReplay {
+		t.Fatalf("warm arena replay allocates %.1f times per replay (%d records), want <= %g",
+			allocs, prog.Records(), maxPerReplay)
+	}
+}
+
+// allocHandleReuse builds a ring where every receive is an IRecv whose
+// single rank-local handle is legally reposted after each Wait, with a
+// WaitAll per iteration — the worst case for the active-handle lists
+// (one activation per IRecv, far more than distinct handles).
+func allocHandleReuse(n, iters int) *trace.Trace {
+	tr := trace.New("ring-irecv", "base", n)
+	for it := 0; it < iters; it++ {
+		for r := 0; r < n; r++ {
+			next := (r + 1) % n
+			prev := (r + n - 1) % n
+			tr.Append(r, trace.Record{Kind: trace.KindIRecv, Peer: prev, Tag: it, Bytes: 10_000, Handle: 1})
+			tr.Append(r, trace.Record{Kind: trace.KindCompute, Instr: 100_000})
+			tr.Append(r, trace.Record{Kind: trace.KindISend, Peer: next, Tag: it, Bytes: 10_000})
+			if it%2 == 0 {
+				tr.Append(r, trace.Record{Kind: trace.KindWait, Handle: 1})
+			} else {
+				tr.Append(r, trace.Record{Kind: trace.KindWaitAll})
+			}
+		}
+	}
+	return tr
+}
+
+func TestReplayAllocsFlat(t *testing.T) {
+	pinReplayAllocs(t, network.Testbed(16).Platform(), allocRing(16, 25), 2)
+}
+
+func TestReplayAllocsHandleReuse(t *testing.T) {
+	pinReplayAllocs(t, network.Testbed(16).Platform(), allocHandleReuse(16, 25), 2)
+}
+
+func TestReplayAllocsHierarchical(t *testing.T) {
+	plat, err := network.PlatformPreset("fatnode-smp", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinReplayAllocs(t, plat, allocRing(16, 25), 2)
+	pinReplayAllocs(t, plat.WithMapping(network.RoundRobinMapping()), allocRing(16, 25), 2)
+}
+
+// TestPooledReplayAllocs pins the sweep primitive: after warm-up,
+// ReplayFinish on a pooled arena must not allocate per point.
+func TestPooledReplayAllocs(t *testing.T) {
+	tr := allocRing(8, 20)
+	prog, err := Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := network.Testbed(8).Platform()
+	for i := 0; i < 3; i++ {
+		if _, err := ReplayFinish(plat, prog); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := ReplayFinish(plat, prog); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("pooled replay allocates %.1f times per point, want <= 2", allocs)
+	}
+}

@@ -1,0 +1,35 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/network"
+)
+
+// Pooled replays: the sweep and search paths (bandwidth searches, what-if
+// studies, service sweeps) replay a compiled program many times and retain
+// only scalars. They borrow a warm arena from a process-wide pool, so a
+// saturated worker pool converges on one arena per worker and the
+// steady-state replay allocates nothing.
+
+var arenaPool = sync.Pool{New: func() any { return NewArena() }}
+
+// ReplayFinish replays prog on p using a pooled arena and returns only the
+// makespan. Safe for concurrent use.
+func ReplayFinish(p network.Platform, prog *Program) (float64, error) {
+	s, err := ReplaySummary(p, prog)
+	return s.FinishSec, err
+}
+
+// ReplaySummary replays prog on p using a pooled arena and returns the
+// replay's scalar summary (makespan plus the traffic split). Safe for
+// concurrent use.
+func ReplaySummary(p network.Platform, prog *Program) (Summary, error) {
+	a := arenaPool.Get().(*ReplayArena)
+	defer arenaPool.Put(a)
+	res, err := a.RunProgram(p, prog)
+	if err != nil {
+		return Summary{}, err
+	}
+	return summarize(res), nil
+}

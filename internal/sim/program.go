@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Compiled trace programs: a Program is the replay-ready form of a
+// trace.Trace, built once and replayed many times. Compilation flattens
+// every rank's records into a dense instruction array and resolves all
+// matching state ahead of time:
+//
+//   - each (dst, src, tag, chunk) message stream becomes an integer stream
+//     ID, so the per-record map lookups of the old replay loop disappear —
+//     the hot loop indexes a slice;
+//   - per-stream send and post counts are known up front, so every match
+//     buffer (arrivals, matched, posts, pending rendezvous queue) can be
+//     carved exactly-sized out of one backing allocation;
+//   - rank-local IRecv handles are renumbered densely per rank, so the
+//     outstanding-handle table is a slice, not a map;
+//   - per-record metadata the replay needs (bytes, instruction counts,
+//     peer/tag/chunk for reporting) is precomputed into the instruction.
+//
+// A Program is immutable after Compile and safe to share between
+// concurrent replays; all mutable replay state lives in ReplayArena.
+
+// instr is one compiled trace record. op keeps the trace.Kind vocabulary so
+// diagnostics (deadlock reports) can name the original record.
+type instr struct {
+	op     trace.Kind
+	peer   int32
+	tag    int32
+	chunk  int32
+	stream int32 // stream ID for send/isend/recv/irecv, -1 otherwise
+	handle int32 // dense per-rank handle ID for irecv/wait, -1 otherwise
+	arg    int64 // instruction count (compute) or transfer bytes (comms)
+	msgID  int64
+}
+
+// streamInfo is the compile-time shape of one (dst, src, tag, chunk)
+// message stream.
+type streamInfo struct {
+	src, dst int32
+	sends    int32 // send-side records feeding the stream
+	posts    int32 // recv/irecv records posted against the stream
+	// sendOff and postOff are prefix offsets into the arena's shared
+	// backing arrays, so per-stream state is a zero-alloc subslice.
+	sendOff int32
+	postOff int32
+}
+
+// Program is a compiled trace: the allocation-free replay core executes
+// Programs, not Traces. Build one with Compile; a Program may be cached
+// (engine.TraceCache memoizes per traced run, the service layer per trace
+// digest) and replayed concurrently on any platform with enough
+// processors.
+type Program struct {
+	name     string
+	numRanks int
+	code     [][]instr
+	streams  []streamInfo
+	// handles[r] is the number of distinct IRecv handles of rank r; handleOff
+	// is the prefix offset into the arena's handle tables. irecvs[r] counts
+	// rank r's IRecv records — the worst-case number of handle activations
+	// in one replay (a handle may be legally reposted after each Wait), which
+	// sizes the arena's active-handle lists; irecvOff is its prefix offset.
+	handles   []int32
+	handleOff []int32
+	irecvs    []int32
+	irecvOff  []int32
+
+	totalSends   int
+	totalPosts   int
+	totalHandles int
+	totalIRecvs  int
+	records      int
+}
+
+// Name returns the compiled trace's name.
+func (p *Program) Name() string { return p.name }
+
+// NumRanks returns the number of simulated processes.
+func (p *Program) NumRanks() int { return p.numRanks }
+
+// Records returns the total record count over all ranks.
+func (p *Program) Records() int { return p.records }
+
+// Streams returns how many distinct (dst, src, tag, chunk) message streams
+// the program matches on.
+func (p *Program) Streams() int { return len(p.streams) }
+
+// streamKey identifies a message stream during compilation only; the
+// replay loop never touches a map.
+type streamKey struct {
+	dst, src, tag, chunk int32
+}
+
+// Compile flattens tr into its replay program. It fails on a nil trace and
+// on structurally unusable records (peers out of range, rank streams
+// missing) — conditions trace.Validate would also reject but that the old
+// replay core only caught by panicking mid-replay.
+func Compile(tr *trace.Trace) (*Program, error) {
+	if tr == nil {
+		return nil, ErrNilTrace
+	}
+	if len(tr.Ranks) < tr.NumRanks {
+		return nil, fmt.Errorf("sim: compile %q: NumRanks=%d but only %d rank streams", tr.Name, tr.NumRanks, len(tr.Ranks))
+	}
+	p := &Program{
+		name:      tr.Name,
+		numRanks:  tr.NumRanks,
+		code:      make([][]instr, tr.NumRanks),
+		handles:   make([]int32, tr.NumRanks),
+		handleOff: make([]int32, tr.NumRanks),
+		irecvs:    make([]int32, tr.NumRanks),
+		irecvOff:  make([]int32, tr.NumRanks),
+	}
+	streamIDs := make(map[streamKey]int32)
+	streamOf := func(dst, src, tag, chunk int32) int32 {
+		k := streamKey{dst: dst, src: src, tag: tag, chunk: chunk}
+		id, ok := streamIDs[k]
+		if !ok {
+			id = int32(len(p.streams))
+			streamIDs[k] = id
+			p.streams = append(p.streams, streamInfo{src: src, dst: dst})
+		}
+		return id
+	}
+	for r := 0; r < tr.NumRanks; r++ {
+		recs := tr.Ranks[r].Records
+		code := make([]instr, len(recs))
+		p.records += len(recs)
+		handleIDs := make(map[int]int32)
+		for i := range recs {
+			rec := &recs[i]
+			in := instr{
+				op:     rec.Kind,
+				peer:   int32(rec.Peer),
+				tag:    int32(rec.Tag),
+				chunk:  int32(rec.Chunk),
+				stream: -1,
+				handle: -1,
+				msgID:  rec.MsgID,
+			}
+			switch rec.Kind {
+			case trace.KindCompute:
+				in.arg = rec.Instr
+			case trace.KindSend, trace.KindISend, trace.KindRecv, trace.KindIRecv:
+				if rec.Peer < 0 || rec.Peer >= tr.NumRanks {
+					return nil, fmt.Errorf("sim: compile %q: rank %d record %d (%s): peer %d out of range [0,%d)",
+						tr.Name, r, i, rec.Kind, rec.Peer, tr.NumRanks)
+				}
+				in.arg = rec.Bytes
+				switch rec.Kind {
+				case trace.KindSend, trace.KindISend:
+					in.stream = streamOf(in.peer, int32(r), in.tag, in.chunk)
+					p.streams[in.stream].sends++
+					p.totalSends++
+				default: // KindRecv, KindIRecv
+					in.stream = streamOf(int32(r), in.peer, in.tag, in.chunk)
+					p.streams[in.stream].posts++
+					p.totalPosts++
+					if rec.Kind == trace.KindIRecv {
+						in.handle = handleForCompile(handleIDs, rec.Handle)
+						p.irecvs[r]++
+					}
+				}
+			case trace.KindWait:
+				// A wait on a handle no IRecv defined compiles to handle -1;
+				// the replay skips it, matching the old defensive branch.
+				if id, ok := handleIDs[rec.Handle]; ok {
+					in.handle = id
+				}
+			}
+			code[i] = in
+		}
+		p.code[r] = code
+		p.handles[r] = int32(len(handleIDs))
+	}
+	// Prefix offsets: every stream's match buffers and every rank's handle
+	// table become exact subslices of one arena backing array.
+	var sendOff, postOff int32
+	for i := range p.streams {
+		p.streams[i].sendOff = sendOff
+		p.streams[i].postOff = postOff
+		sendOff += p.streams[i].sends
+		postOff += p.streams[i].posts
+	}
+	var hOff, irOff int32
+	for r := range p.handles {
+		p.handleOff[r] = hOff
+		hOff += p.handles[r]
+		p.irecvOff[r] = irOff
+		irOff += p.irecvs[r]
+	}
+	p.totalHandles = int(hOff)
+	p.totalIRecvs = int(irOff)
+	return p, nil
+}
+
+// handleForCompile returns the dense ID of a rank-local handle, assigning
+// the next one on first sight.
+func handleForCompile(ids map[int]int32, handle int) int32 {
+	if id, ok := ids[handle]; ok {
+		return id
+	}
+	id := int32(len(ids))
+	ids[handle] = id
+	return id
+}

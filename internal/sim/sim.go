@@ -17,14 +17,20 @@
 // between nodes cross the inter-node link class (NIC ports, global buses).
 // A flat network.Config is replayed as its degenerate one-rank-per-node
 // platform and reproduces the original single-link model exactly.
+//
+// Replay is structured for throughput: a trace compiles once into a
+// Program (dense instructions, stream IDs and handle tables resolved ahead
+// of time — see program.go) and executes on a ReplayArena, which owns every
+// piece of mutable replay state and reuses it across replays. The event
+// queue is a hand-rolled 4-ary heap of small typed events (no closures, no
+// container/heap interface boxing), all matching state is slice-backed,
+// and the steady-state replay of a warm arena performs no heap allocation.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/network"
 	"repro/internal/trace"
@@ -98,6 +104,11 @@ type RankStats struct {
 }
 
 // Result is the full output of one replay.
+//
+// Results returned by the one-shot entry points (Run, RunOn, RunProgram,
+// Simulator.Run) are owned by the caller. Results returned by a
+// ReplayArena's methods alias the arena's reusable buffers and are only
+// valid until the arena's next replay.
 type Result struct {
 	// FinishSec is the simulated makespan: the max rank finish time.
 	FinishSec float64
@@ -144,6 +155,23 @@ func (r *Result) TrafficSplit() (intraBytes, interBytes int64, intraMsgs, interM
 	return intraBytes, interBytes, intraMsgs, interMsgs
 }
 
+// Summary is the scalar digest of one replay — everything the sweep and
+// search paths retain, cheap to copy and safe to keep after the arena that
+// produced it is reused.
+type Summary struct {
+	FinishSec  float64
+	IntraBytes int64
+	InterBytes int64
+	IntraMsgs  int
+	InterMsgs  int
+}
+
+// summarize reduces a result to its retained scalars.
+func summarize(res *Result) Summary {
+	ib, eb, im, em := res.TrafficSplit()
+	return Summary{FinishSec: res.FinishSec, IntraBytes: ib, InterBytes: eb, IntraMsgs: im, InterMsgs: em}
+}
+
 // DeadlockError reports a replay that stalled before all ranks finished.
 type DeadlockError struct {
 	Trace   string
@@ -154,32 +182,39 @@ func (e *DeadlockError) Error() string {
 	return fmt.Sprintf("sim: deadlock replaying %q: %v", e.Trace, e.Blocked)
 }
 
+// ErrNilTrace reports a replay requested without a trace.
+var ErrNilTrace = errors.New("sim: nil trace")
+
 // ---------------------------------------------------------------------------
 // Event queue
+//
+// Events are small typed records — no closures — ordered by (time, insertion
+// seq) in a hand-rolled 4-ary heap. The comparator's seq tiebreak makes the
+// order total, so pop order is deterministic and independent of heap shape.
+
+// Event kinds.
+const (
+	// evAdvance resumes rank a's record stream at the event time.
+	evAdvance uint8 = iota
+	// evArrive completes the flight of send seq b of stream a.
+	evArrive
+	// evSendResume unparks rank a from a blocking rendezvous send:
+	// advance past the send record.
+	evSendResume
+)
 
 type event struct {
-	t   float64
-	seq int64
-	fn  func()
+	t    float64
+	seq  int64
+	a, b int32
+	kind uint8
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+func eventBefore(x, y *event) bool {
+	if x.t != y.t {
+		return x.t < y.t
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return x.seq < y.seq
 }
 
 // ---------------------------------------------------------------------------
@@ -202,13 +237,6 @@ type busyInterval struct {
 
 type unitCalendar struct {
 	busy []busyInterval // sorted by start, non-overlapping
-}
-
-func newResource(units int) *resource {
-	if units <= 0 {
-		return nil
-	}
-	return &resource{units: make([]unitCalendar, units)}
 }
 
 // earliestFit returns the earliest start >= t at which the unit can host a
@@ -270,12 +298,24 @@ func (r *resource) commit(i int, start, hold float64) {
 	u.busy[pos] = iv
 }
 
+// reset truncates every unit's calendar, keeping capacity.
+func (r *resource) reset() {
+	for i := range r.units {
+		r.units[i].busy = r.units[i].busy[:0]
+	}
+}
+
+// ptr returns the pool as the nullable handle the replay loop uses: nil
+// means unlimited.
+func (r *resource) ptr() *resource {
+	if len(r.units) == 0 {
+		return nil
+	}
+	return r
+}
+
 // ---------------------------------------------------------------------------
 // Message matching
-
-type matchKey struct {
-	src, tag, chunk int
-}
 
 type postKind uint8
 
@@ -286,32 +326,34 @@ const (
 
 type post struct {
 	kind   postKind
-	handle int
+	handle int32
 	t      float64
 }
 
-// stream is the per-(dst,key) non-overtaking match state. The n-th send of
-// the stream pairs with the n-th post; a pair completes as soon as both its
-// message has arrived and its receive is posted, independently of other
-// pairs.
-type stream struct {
+// streamState is the per-stream non-overtaking match state. The n-th send
+// of the stream pairs with the n-th post; a pair completes as soon as both
+// its message has arrived and its receive is posted, independently of
+// other pairs. All slices are exact-capacity views into the arena's
+// backing arrays.
+type streamState struct {
 	arrivals []float64 // arrival time per send seq; NaN while in flight
-	commIdx  []int     // Comms index per send seq
-	posts    []post
-	matched  []bool
-	nSends   int
-	// pendingSend queues rendezvous senders waiting for their matching
-	// post, by seq.
-	pendingSend map[int]*pendingTransfer
+	commIdx  []int32   // Comms index per send seq; -1 until the send executes
+	matched  []bool    // per send seq
+	posts    []post    // grows to the stream's post count
+	nSends   int32
+	// Rendezvous senders wait for their matching post in FIFO order:
+	// stream seqs are strictly increasing and posts arrive in order, so
+	// the map of the old engine reduces to a queue with a head cursor.
+	pendQ    []pendingTransfer
+	pendHead int32
 }
 
 type pendingTransfer struct {
-	seq      int
+	seq      int32
+	commIdx  int32
 	bytes    int64
 	readyT   float64 // sender reached the record at this time
 	blocking bool
-	src      int
-	commIdx  int
 }
 
 // ---------------------------------------------------------------------------
@@ -329,55 +371,128 @@ const (
 )
 
 type rankState struct {
-	rank       int
-	pc         int
-	clock      float64
-	done       bool
+	rank       int32
+	pc         int32
 	blocked    blockReason
+	done       bool
+	waitHandle int32
+	clock      float64
 	blockStart float64
-	waitHandle int
-	// outstanding maps posted-but-unwaited irecv handles to their
-	// completion time (NaN while incomplete).
-	outstanding map[int]float64
-	stats       RankStats
+	stats      RankStats
+	// Outstanding IRecv handles, densely indexed by the program's
+	// per-rank handle IDs. hTime is the completion time (NaN while
+	// incomplete), hActive whether the handle is posted and unwaited.
+	hTime   []float64
+	hActive []bool
+	// active lists posted handle IDs for WaitAll's bulk clear; entries
+	// deactivated by a single Wait go stale and are skipped.
+	active     []int32
+	incomplete int32
 }
 
 // ---------------------------------------------------------------------------
-// Simulator
+// ReplayArena
+
+// ReplayArena owns every piece of mutable replay state — event heap,
+// match buffers, rank states, resource calendars, interval and comm
+// accumulators — and reuses it across replays, so a sweep's 16th replay of
+// a compiled program allocates nothing. An arena is single-goroutine;
+// share Programs, not arenas. Results returned by arena methods alias the
+// arena's buffers and are valid only until its next replay.
+type ReplayArena struct {
+	// One-entry compile memo for RunOn: sweeps that replay the same
+	// *trace.Trace on many platform variants compile once. Callers must
+	// not mutate a trace between replays (the simulator never does).
+	memoTrace *trace.Trace
+	memoProg  *Program
+
+	plat   network.Platform
+	prog   *Program
+	nodeOf []int
+
+	// Event queue (4-ary heap) and clock.
+	ev       []event
+	eseq     int64
+	now      float64
+	inFlight int // inter-node messages currently in the interconnect
+
+	// Resource pools, rebuilt only when the platform shape changes.
+	poolNodes                          int
+	poolBuses, poolIntra, poolIn, poolOut int
+	interRes                           resource
+	intraRes, inRes, outRes            []resource
+	interBuses                         *resource
+	intraBuses, nodeIn, nodeOut        []*resource
+
+	// Per-rank and per-stream state plus their backing arrays.
+	ranks       []rankState
+	streams     []streamState
+	arrivalsBuf []float64
+	commIdxBuf  []int32
+	matchedBuf  []bool
+	postsBuf    []post
+	pendBuf     []pendingTransfer
+	hTimeBuf    []float64
+	hActiveBuf  []bool
+	activeBuf   []int32
+
+	// Output accumulators. Intervals gather per rank — each rank's
+	// timeline is appended in strictly increasing start order — and merge
+	// by concatenation, which is exactly the (rank, start) order the old
+	// engine obtained from a final closure sort.
+	rankIvs   [][]Interval
+	intervals []Interval
+	comms     []Comm
+	rankStats []RankStats
+	result    Result
+}
+
+// NewArena returns an empty arena. Buffers grow to the working set of the
+// first replays and are reused afterwards.
+func NewArena() *ReplayArena { return &ReplayArena{} }
+
+// RunOn replays tr on platform p. The compiled program is memoized per
+// trace, so replaying one trace across platform variants compiles once.
+func (a *ReplayArena) RunOn(p network.Platform, tr *trace.Trace) (*Result, error) {
+	if tr == nil {
+		return nil, ErrNilTrace
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if tr != a.memoTrace {
+		prog, err := Compile(tr)
+		if err != nil {
+			return nil, err
+		}
+		a.memoTrace, a.memoProg = tr, prog
+	}
+	return a.replay(p, a.memoProg)
+}
+
+// RunProgram replays a compiled program on platform p.
+func (a *ReplayArena) RunProgram(p network.Platform, prog *Program) (*Result, error) {
+	if prog == nil {
+		return nil, errors.New("sim: nil program")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return a.replay(p, prog)
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
 
 // Simulator replays one trace on one platform. Create with New (flat
 // Config) or NewOn (hierarchical Platform), run with Run; a Simulator is
-// single-use.
-//
-// Every transfer is classified by the platform's rank→node mapping:
-// transfers whose endpoints share a node cross the intra-node link class
-// and queue only on that node's intra bus pool; transfers between nodes
-// cross the interconnect link class and queue on the global bus pool plus
-// the two nodes' NIC ports. On a one-rank-per-node platform (any flat
-// Config) everything is inter-node and the engine reduces exactly to the
-// validated single-link model.
+// single-use. It owns a private arena; for replay-heavy workloads reuse a
+// ReplayArena (or the pooled ReplayFinish/ReplaySummary helpers) instead.
 type Simulator struct {
-	plat   network.Platform
-	nodeOf []int // rank → node, precomputed from the mapping
-	tr     *trace.Trace
-
-	interBuses *resource   // global interconnect pool
-	intraBuses []*resource // per-node shared-memory pool
-	nodeIn     []*resource // per-node NIC drain ports
-	nodeOut    []*resource // per-node NIC injection ports
-
-	ranks   []*rankState
-	streams []map[matchKey]*stream // per destination rank
-
-	eq       eventHeap
-	eseq     int64
-	now      float64
-	inFlight int // inter-node messages currently in the interconnect (congestion model)
-	result   Result
+	arena *ReplayArena
+	plat  network.Platform
+	prog  *Program
 }
-
-// ErrNilTrace reports a replay requested without a trace.
-var ErrNilTrace = errors.New("sim: nil trace")
 
 // New prepares a replay of tr on the flat platform cfg — the degenerate
 // one-rank-per-node case of NewOn. The trace rank count must not exceed
@@ -404,24 +519,16 @@ func NewOn(p network.Platform, tr *trace.Trace) (*Simulator, error) {
 	if tr.NumRanks > p.Processors {
 		return nil, fmt.Errorf("sim: trace has %d ranks but platform has %d processors", tr.NumRanks, p.Processors)
 	}
-	s := &Simulator{plat: p, nodeOf: p.NodeTable(), tr: tr}
-	s.interBuses = newResource(p.Buses)
-	s.intraBuses = make([]*resource, p.Nodes)
-	s.nodeIn = make([]*resource, p.Nodes)
-	s.nodeOut = make([]*resource, p.Nodes)
-	for n := 0; n < p.Nodes; n++ {
-		s.intraBuses[n] = newResource(p.IntraBuses)
-		s.nodeIn[n] = newResource(p.InPorts)
-		s.nodeOut[n] = newResource(p.OutPorts)
+	prog, err := Compile(tr)
+	if err != nil {
+		return nil, err
 	}
-	s.ranks = make([]*rankState, tr.NumRanks)
-	s.streams = make([]map[matchKey]*stream, tr.NumRanks)
-	for r := 0; r < tr.NumRanks; r++ {
-		s.ranks[r] = &rankState{rank: r, outstanding: map[int]float64{}}
-		s.streams[r] = map[matchKey]*stream{}
-	}
-	s.result.Ranks = make([]RankStats, tr.NumRanks)
-	return s, nil
+	return &Simulator{arena: NewArena(), plat: p, prog: prog}, nil
+}
+
+// Run executes the replay and returns the reconstructed time behaviour.
+func (s *Simulator) Run() (*Result, error) {
+	return s.arena.replay(s.plat, s.prog)
 }
 
 // Run builds a Simulator for (cfg, tr) and executes the replay.
@@ -443,109 +550,344 @@ func RunOn(p network.Platform, tr *trace.Trace) (*Result, error) {
 	return s.Run()
 }
 
-// Run executes the replay and returns the reconstructed time behaviour.
-func (s *Simulator) Run() (*Result, error) {
-	for _, rs := range s.ranks {
-		rs := rs
-		s.schedule(0, func() { s.advance(rs) })
+// RunProgram replays a compiled program on p with a fresh arena; the
+// result is owned by the caller.
+func RunProgram(p network.Platform, prog *Program) (*Result, error) {
+	return NewArena().RunProgram(p, prog)
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+
+// replay resets the arena for (p, prog) and runs the event loop. The
+// platform must be validated by the caller.
+func (a *ReplayArena) replay(p network.Platform, prog *Program) (*Result, error) {
+	if prog.numRanks > p.Processors {
+		return nil, fmt.Errorf("sim: trace has %d ranks but platform has %d processors", prog.numRanks, p.Processors)
 	}
-	for len(s.eq) > 0 {
-		e := heap.Pop(&s.eq).(event)
-		if e.t < s.now {
-			return nil, fmt.Errorf("sim: time ran backwards: %g < %g", e.t, s.now)
+	a.reset(p, prog)
+	for r := 0; r < prog.numRanks; r++ {
+		a.schedule(0, evAdvance, int32(r), 0)
+	}
+	for len(a.ev) > 0 {
+		e := a.pop()
+		if e.t < a.now {
+			return nil, fmt.Errorf("sim: time ran backwards: %g < %g", e.t, a.now)
 		}
-		s.now = e.t
-		e.fn()
+		a.now = e.t
+		switch e.kind {
+		case evAdvance:
+			a.advance(&a.ranks[e.a])
+		case evSendResume:
+			rs := &a.ranks[e.a]
+			rs.blocked = blockNone
+			rs.pc++
+			a.advance(rs)
+		case evArrive:
+			st := &a.streams[e.a]
+			si := &prog.streams[e.a]
+			if a.nodeOf[si.src] != a.nodeOf[si.dst] {
+				a.inFlight--
+			}
+			st.arrivals[e.b] = e.t
+			if int(e.b) < len(st.posts) {
+				a.completePair(e.a, int(e.b))
+			}
+		}
 	}
 	var blocked []string
-	for _, rs := range s.ranks {
-		if !rs.done {
-			rec := trace.Record{}
-			if rs.pc < len(s.tr.Ranks[rs.rank].Records) {
-				rec = s.tr.Ranks[rs.rank].Records[rs.pc]
-			}
-			blocked = append(blocked, fmt.Sprintf("rank %d at record %d (%s peer=%d tag=%d chunk=%d)",
-				rs.rank, rs.pc, rec.Kind, rec.Peer, rec.Tag, rec.Chunk))
+	for r := range a.ranks {
+		if rs := &a.ranks[r]; !rs.done {
+			blocked = append(blocked, blockedDesc(prog, r, int(rs.pc)))
 		}
 	}
 	if blocked != nil {
-		return nil, &DeadlockError{Trace: s.tr.Name, Blocked: blocked}
+		return nil, &DeadlockError{Trace: prog.name, Blocked: blocked}
 	}
-	for _, rs := range s.ranks {
-		s.result.Ranks[rs.rank] = rs.stats
-		if rs.stats.FinishSec > s.result.FinishSec {
-			s.result.FinishSec = rs.stats.FinishSec
-		}
-	}
-	sort.Slice(s.result.Intervals, func(i, j int) bool {
-		a, b := s.result.Intervals[i], s.result.Intervals[j]
-		if a.Rank != b.Rank {
-			return a.Rank < b.Rank
-		}
-		return a.Start < b.Start
-	})
-	return &s.result, nil
+	return a.assemble(), nil
 }
 
-func (s *Simulator) schedule(t float64, fn func()) {
-	s.eseq++
-	heap.Push(&s.eq, event{t: t, seq: s.eseq, fn: fn})
+// blockedDesc renders one stalled rank for the deadlock report. A pc at or
+// past the end of the rank's record stream means the rank ran out of
+// records while a dependent was still blocked on it — reported as such
+// instead of formatting a zero-valued record.
+func blockedDesc(prog *Program, rank, pc int) string {
+	code := prog.code[rank]
+	if pc >= len(code) {
+		return fmt.Sprintf("rank %d at record %d (at end of trace)", rank, pc)
+	}
+	in := &code[pc]
+	return fmt.Sprintf("rank %d at record %d (%s peer=%d tag=%d chunk=%d)",
+		rank, pc, in.op, in.peer, in.tag, in.chunk)
 }
 
-func (s *Simulator) addInterval(rank int, start, end float64, st State) {
+// assemble builds the Result view over the arena's accumulators.
+func (a *ReplayArena) assemble() *Result {
+	a.result = Result{Ranks: a.rankStats[:0], Comms: a.comms}
+	total := 0
+	for r := range a.ranks {
+		rs := &a.ranks[r]
+		a.result.Ranks = append(a.result.Ranks, rs.stats)
+		if rs.stats.FinishSec > a.result.FinishSec {
+			a.result.FinishSec = rs.stats.FinishSec
+		}
+		total += len(a.rankIvs[r])
+	}
+	a.rankStats = a.result.Ranks
+	if cap(a.intervals) < total {
+		a.intervals = make([]Interval, 0, total)
+	}
+	a.intervals = a.intervals[:0]
+	for r := range a.rankIvs {
+		a.intervals = append(a.intervals, a.rankIvs[r]...)
+	}
+	a.result.Intervals = a.intervals
+	return &a.result
+}
+
+// reset prepares the arena's state for one replay of prog on p. Every
+// buffer is recycled; the only allocations are capacity growth beyond any
+// previous replay (and pool rebuilds when the platform shape changes).
+func (a *ReplayArena) reset(p network.Platform, prog *Program) {
+	a.plat = p
+	a.prog = prog
+	a.ev = a.ev[:0]
+	a.eseq = 0
+	a.now = 0
+	a.inFlight = 0
+
+	a.nodeOf = grow(a.nodeOf, p.Processors)
+	for r := 0; r < p.Processors; r++ {
+		a.nodeOf[r] = p.NodeOf(r)
+	}
+	a.resetPools(p)
+
+	// Backing arrays for the match and handle state.
+	a.arrivalsBuf = grow(a.arrivalsBuf, prog.totalSends)
+	a.commIdxBuf = grow(a.commIdxBuf, prog.totalSends)
+	a.matchedBuf = grow(a.matchedBuf, prog.totalSends)
+	a.pendBuf = grow(a.pendBuf, prog.totalSends)
+	a.postsBuf = grow(a.postsBuf, prog.totalPosts)
+	a.hTimeBuf = grow(a.hTimeBuf, prog.totalHandles)
+	a.hActiveBuf = grow(a.hActiveBuf, prog.totalHandles)
+	// Sized by IRecv records, not distinct handles: each legal repost of a
+	// handle after its Wait appends a fresh entry (stale ones are skipped
+	// lazily), so the worst case is one entry per IRecv.
+	a.activeBuf = grow(a.activeBuf, prog.totalIRecvs)
+	nan := math.NaN()
+	for i := 0; i < prog.totalSends; i++ {
+		a.arrivalsBuf[i] = nan
+		a.commIdxBuf[i] = -1
+		a.matchedBuf[i] = false
+	}
+	for i := 0; i < prog.totalHandles; i++ {
+		a.hTimeBuf[i] = nan
+		a.hActiveBuf[i] = false
+	}
+
+	if cap(a.streams) < len(prog.streams) {
+		a.streams = make([]streamState, len(prog.streams))
+	}
+	a.streams = a.streams[:len(prog.streams)]
+	for i := range prog.streams {
+		si := &prog.streams[i]
+		a.streams[i] = streamState{
+			arrivals: a.arrivalsBuf[si.sendOff : si.sendOff+si.sends],
+			commIdx:  a.commIdxBuf[si.sendOff : si.sendOff+si.sends],
+			matched:  a.matchedBuf[si.sendOff : si.sendOff+si.sends],
+			posts:    a.postsBuf[si.postOff : si.postOff : si.postOff+si.posts],
+			pendQ:    a.pendBuf[si.sendOff : si.sendOff : si.sendOff+si.sends],
+		}
+	}
+
+	if cap(a.ranks) < prog.numRanks {
+		a.ranks = make([]rankState, prog.numRanks)
+	}
+	a.ranks = a.ranks[:prog.numRanks]
+	for r := 0; r < prog.numRanks; r++ {
+		off := prog.handleOff[r]
+		n := prog.handles[r]
+		irOff := prog.irecvOff[r]
+		a.ranks[r] = rankState{
+			rank:    int32(r),
+			hTime:   a.hTimeBuf[off : off+n],
+			hActive: a.hActiveBuf[off : off+n],
+			active:  a.activeBuf[irOff : irOff : irOff+prog.irecvs[r]],
+		}
+	}
+
+	// Output accumulators.
+	if cap(a.comms) < prog.totalSends {
+		a.comms = make([]Comm, 0, prog.totalSends)
+	}
+	a.comms = a.comms[:0]
+	if cap(a.rankIvs) < prog.numRanks {
+		a.rankIvs = append(a.rankIvs[:cap(a.rankIvs)], make([][]Interval, prog.numRanks-cap(a.rankIvs))...)
+	}
+	a.rankIvs = a.rankIvs[:prog.numRanks]
+	for r := range a.rankIvs {
+		a.rankIvs[r] = a.rankIvs[r][:0]
+	}
+	a.rankStats = grow(a.rankStats, prog.numRanks)
+}
+
+// resetPools recycles the resource calendars, rebuilding them only when
+// the platform's pool shape differs from the previous replay's.
+func (a *ReplayArena) resetPools(p network.Platform) {
+	same := a.poolNodes == p.Nodes && a.poolBuses == p.Buses &&
+		a.poolIntra == p.IntraBuses && a.poolIn == p.InPorts && a.poolOut == p.OutPorts
+	if !same {
+		a.poolNodes, a.poolBuses = p.Nodes, p.Buses
+		a.poolIntra, a.poolIn, a.poolOut = p.IntraBuses, p.InPorts, p.OutPorts
+		a.interRes = resource{units: make([]unitCalendar, p.Buses)}
+		a.intraRes = makeResources(p.Nodes, p.IntraBuses)
+		a.inRes = makeResources(p.Nodes, p.InPorts)
+		a.outRes = makeResources(p.Nodes, p.OutPorts)
+		a.interBuses = a.interRes.ptr()
+		a.intraBuses = resourcePtrs(a.intraBuses, a.intraRes)
+		a.nodeIn = resourcePtrs(a.nodeIn, a.inRes)
+		a.nodeOut = resourcePtrs(a.nodeOut, a.outRes)
+		return
+	}
+	a.interRes.reset()
+	for i := range a.intraRes {
+		a.intraRes[i].reset()
+	}
+	for i := range a.inRes {
+		a.inRes[i].reset()
+	}
+	for i := range a.outRes {
+		a.outRes[i].reset()
+	}
+}
+
+func makeResources(nodes, units int) []resource {
+	rs := make([]resource, nodes)
+	if units > 0 {
+		for i := range rs {
+			rs[i].units = make([]unitCalendar, units)
+		}
+	}
+	return rs
+}
+
+func resourcePtrs(dst []*resource, rs []resource) []*resource {
+	dst = dst[:0]
+	for i := range rs {
+		dst = append(dst, rs[i].ptr())
+	}
+	return dst
+}
+
+// grow returns a length-n view of s, reallocating (without copying — the
+// caller refills) only when the capacity is insufficient.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// ---------------------------------------------------------------------------
+// Event heap (4-ary, no interface boxing)
+
+// schedule enqueues an event at time t.
+func (a *ReplayArena) schedule(t float64, kind uint8, x, y int32) {
+	a.eseq++
+	a.ev = append(a.ev, event{t: t, seq: a.eseq, kind: kind, a: x, b: y})
+	h := a.ev
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventBefore(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event.
+func (a *ReplayArena) pop() event {
+	h := a.ev
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	a.ev = h
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventBefore(&h[c], &h[best]) {
+				best = c
+			}
+		}
+		if !eventBefore(&h[best], &h[i]) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	return top
+}
+
+// ---------------------------------------------------------------------------
+// Rank program execution
+
+func (a *ReplayArena) addInterval(rank int, start, end float64, st State) {
 	if end <= start {
 		return
 	}
-	s.result.Intervals = append(s.result.Intervals, Interval{Rank: rank, Start: start, End: end, State: st})
+	a.rankIvs[rank] = append(a.rankIvs[rank], Interval{Rank: rank, Start: start, End: end, State: st})
 }
 
-func (s *Simulator) streamFor(dst int, k matchKey) *stream {
-	st, ok := s.streams[dst][k]
-	if !ok {
-		st = &stream{pendingSend: map[int]*pendingTransfer{}}
-		s.streams[dst][k] = st
-	}
-	return st
-}
-
-// advance runs the rank's record stream from its program counter until it
-// blocks, needs to let simulated time pass, or finishes.
-func (s *Simulator) advance(rs *rankState) {
-	rs.clock = s.now
-	recs := s.tr.Ranks[rs.rank].Records
+// advance runs the rank's instruction stream from its program counter
+// until it blocks, needs to let simulated time pass, or finishes.
+func (a *ReplayArena) advance(rs *rankState) {
+	rank := int(rs.rank)
+	rs.clock = a.now
+	code := a.prog.code[rank]
 	for {
-		if rs.pc >= len(recs) {
+		if int(rs.pc) >= len(code) {
 			rs.done = true
 			rs.stats.FinishSec = rs.clock
 			return
 		}
-		rec := recs[rs.pc]
-		switch rec.Kind {
+		in := &code[rs.pc]
+		switch in.op {
 		case trace.KindCompute:
-			d := s.plat.ComputeSec(rec.Instr)
+			d := a.plat.ComputeSec(in.arg)
 			if d <= 0 {
 				rs.pc++
 				continue
 			}
-			s.addInterval(rs.rank, rs.clock, rs.clock+d, StateCompute)
+			a.addInterval(rank, rs.clock, rs.clock+d, StateCompute)
 			rs.stats.ComputeSec += d
 			rs.pc++
-			s.schedule(rs.clock+d, func() { s.advance(rs) })
+			a.schedule(rs.clock+d, evAdvance, int32(rank), 0)
 			return
 		case trace.KindSend, trace.KindISend:
-			if s.startSend(rs, rec, rec.Kind == trace.KindSend) {
+			if a.startSend(rs, rank, in, in.op == trace.KindSend) {
 				rs.pc++
 				continue
 			}
 			return // parked: rendezvous handshake or blocking injection
 		case trace.KindRecv:
-			k := matchKey{src: rec.Peer, tag: rec.Tag, chunk: rec.Chunk}
-			st := s.streamFor(rs.rank, k)
+			st := &a.streams[in.stream]
 			seq := len(st.posts)
 			st.posts = append(st.posts, post{kind: postBlocking, t: rs.clock})
-			s.wakeRendezvous(rs.rank, k, st, seq)
+			a.wakeRendezvous(in.stream, seq)
 			if seq < len(st.arrivals) && !math.IsNaN(st.arrivals[seq]) {
-				s.completePair(rs.rank, k, st, seq)
+				a.completePair(in.stream, seq)
 				rs.pc++
 				continue
 			}
@@ -553,34 +895,32 @@ func (s *Simulator) advance(rs *rankState) {
 			rs.blockStart = rs.clock
 			return
 		case trace.KindIRecv:
-			k := matchKey{src: rec.Peer, tag: rec.Tag, chunk: rec.Chunk}
-			st := s.streamFor(rs.rank, k)
+			st := &a.streams[in.stream]
 			seq := len(st.posts)
-			st.posts = append(st.posts, post{kind: postNonBlocking, handle: rec.Handle, t: rs.clock})
-			rs.outstanding[rec.Handle] = math.NaN()
-			s.wakeRendezvous(rs.rank, k, st, seq)
+			st.posts = append(st.posts, post{kind: postNonBlocking, handle: in.handle, t: rs.clock})
+			rs.postHandle(in.handle)
+			a.wakeRendezvous(in.stream, seq)
 			if seq < len(st.arrivals) && !math.IsNaN(st.arrivals[seq]) {
-				s.completePair(rs.rank, k, st, seq)
+				a.completePair(in.stream, seq)
 			}
 			rs.pc++
 			continue
 		case trace.KindWait:
-			tc, ok := rs.outstanding[rec.Handle]
-			if !ok {
+			if in.handle < 0 || !rs.hActive[in.handle] {
 				rs.pc++ // Validate() prevents this; defensive.
 				continue
 			}
-			if !math.IsNaN(tc) {
-				delete(rs.outstanding, rec.Handle)
+			if !math.IsNaN(rs.hTime[in.handle]) {
+				rs.hActive[in.handle] = false
 				rs.pc++
 				continue
 			}
 			rs.blocked = blockWait
-			rs.waitHandle = rec.Handle
+			rs.waitHandle = in.handle
 			rs.blockStart = rs.clock
 			return
 		case trace.KindWaitAll:
-			if s.waitAllDone(rs) {
+			if rs.waitAllDone() {
 				rs.pc++
 				continue
 			}
@@ -594,46 +934,63 @@ func (s *Simulator) advance(rs *rankState) {
 	}
 }
 
-func (s *Simulator) waitAllDone(rs *rankState) bool {
-	for _, tc := range rs.outstanding {
-		if math.IsNaN(tc) {
-			return false
+// postHandle activates a handle for a fresh IRecv.
+func (rs *rankState) postHandle(h int32) {
+	if h < 0 {
+		return
+	}
+	if rs.hActive[h] {
+		// Repost while outstanding: Validate() rejects this, but mirror
+		// the old engine's map semantics — the handle becomes incomplete
+		// again.
+		if !math.IsNaN(rs.hTime[h]) {
+			rs.incomplete++
 		}
+		rs.hTime[h] = math.NaN()
+		return
 	}
-	for h := range rs.outstanding {
-		delete(rs.outstanding, h)
+	rs.hActive[h] = true
+	rs.hTime[h] = math.NaN()
+	rs.active = append(rs.active, h)
+	rs.incomplete++
+}
+
+// waitAllDone reports whether every outstanding handle has completed,
+// clearing them all when so.
+func (rs *rankState) waitAllDone() bool {
+	if rs.incomplete > 0 {
+		return false
 	}
+	for _, h := range rs.active {
+		rs.hActive[h] = false
+	}
+	rs.active = rs.active[:0]
 	return true
 }
 
 // startSend initiates the transfer for a send record. It returns true when
 // the rank may continue immediately (ISend, or zero-cost injection) and
 // false when the rank parked (blocking injection or rendezvous handshake).
-func (s *Simulator) startSend(rs *rankState, rec trace.Record, blocking bool) bool {
-	k := matchKey{src: rs.rank, tag: rec.Tag, chunk: rec.Chunk}
-	st := s.streamFor(rec.Peer, k)
-	seq := st.nSends
+func (a *ReplayArena) startSend(rs *rankState, rank int, in *instr, blocking bool) bool {
+	st := &a.streams[in.stream]
+	seq := int(st.nSends)
 	st.nSends++
-	for len(st.arrivals) <= seq {
-		st.arrivals = append(st.arrivals, math.NaN())
-		st.commIdx = append(st.commIdx, -1)
-	}
 	rs.stats.MsgsSent++
-	rs.stats.BytesSent += rec.Bytes
-	commIdx := len(s.result.Comms)
-	st.commIdx[seq] = commIdx
-	s.result.Comms = append(s.result.Comms, Comm{
-		Src: rs.rank, Dst: rec.Peer, Tag: rec.Tag, Chunk: rec.Chunk,
-		Bytes: rec.Bytes, MsgID: rec.MsgID, SendT: rs.clock,
-		Intra:  s.nodeOf[rs.rank] == s.nodeOf[rec.Peer],
+	rs.stats.BytesSent += in.arg
+	commIdx := len(a.comms)
+	st.commIdx[seq] = int32(commIdx)
+	a.comms = append(a.comms, Comm{
+		Src: rank, Dst: int(in.peer), Tag: int(in.tag), Chunk: int(in.chunk),
+		Bytes: in.arg, MsgID: in.msgID, SendT: rs.clock,
+		Intra:  a.nodeOf[rank] == a.nodeOf[in.peer],
 		StartT: math.NaN(), ArriveT: math.NaN(), MatchT: math.NaN(),
 	})
-	if !s.plat.Eager(rec.Bytes) && seq >= len(st.posts) {
+	if !a.plat.Eager(in.arg) && seq >= len(st.posts) {
 		// Rendezvous: the matching receive is not posted yet.
-		st.pendingSend[seq] = &pendingTransfer{
-			seq: seq, bytes: rec.Bytes, readyT: rs.clock,
-			blocking: blocking, src: rs.rank, commIdx: commIdx,
-		}
+		st.pendQ = append(st.pendQ, pendingTransfer{
+			seq: int32(seq), commIdx: int32(commIdx), bytes: in.arg,
+			readyT: rs.clock, blocking: blocking,
+		})
 		if blocking {
 			rs.blocked = blockSendRendezvous
 			rs.blockStart = rs.clock
@@ -645,7 +1002,7 @@ func (s *Simulator) startSend(rs *rankState, rec trace.Record, blocking bool) bo
 	// sender resumes immediately and the NIC performs the transfer in
 	// the background (the OS-bypass capability the paper assumes). Only
 	// rendezvous sends block the issuing rank.
-	s.launch(rs.rank, rec.Peer, k, st, seq, rec.Bytes, rs.clock, commIdx)
+	a.launch(in.stream, seq, in.arg, rs.clock, commIdx)
 	return true
 }
 
@@ -665,18 +1022,20 @@ func (s *Simulator) startSend(rs *rankState, rec trace.Record, blocking bool) bo
 // size/bandwidth terms. This keeps the chunked traces from paying the
 // latency once per chunk in *occupancy* (they still pay it per chunk in
 // flight time).
-func (s *Simulator) launch(src, dst int, k matchKey, st *stream, seq int, bytes int64, t float64, commIdx int) float64 {
-	intra := s.nodeOf[src] == s.nodeOf[dst]
-	link := s.plat.LinkFor(intra)
+func (a *ReplayArena) launch(streamID int32, seq int, bytes int64, t float64, commIdx int) float64 {
+	si := &a.prog.streams[streamID]
+	src, dst := int(si.src), int(si.dst)
+	intra := a.nodeOf[src] == a.nodeOf[dst]
+	link := a.plat.LinkFor(intra)
 	ser := link.SerializationSec(bytes)
-	if !intra && s.plat.CongestionFactor > 0 && s.plat.Buses > 0 {
+	if !intra && a.plat.CongestionFactor > 0 && a.plat.Buses > 0 {
 		// Nonlinear congestion extension: transfers entering a loaded
 		// interconnect serialize slower. inFlight counts inter-node
 		// messages and is sampled at launch; intra-node traffic never
 		// contributes.
-		over := float64(s.inFlight)/float64(s.plat.Buses) - 1
+		over := float64(a.inFlight)/float64(a.plat.Buses) - 1
 		if over > 0 {
-			ser *= 1 + s.plat.CongestionFactor*over
+			ser *= 1 + a.plat.CongestionFactor*over
 		}
 	}
 	flight := link.LatencySec + ser
@@ -684,9 +1043,9 @@ func (s *Simulator) launch(src, dst int, k matchKey, st *stream, seq int, bytes 
 	// pool of the transfer's resource set is free for the serialization
 	// window. The fixpoint loop converges because each probe only moves
 	// the candidate start forward.
-	pools := [3]*resource{s.intraBuses[s.nodeOf[src]], nil, nil}
+	pools := [3]*resource{a.intraBuses[a.nodeOf[src]], nil, nil}
 	if !intra {
-		pools = [3]*resource{s.interBuses, s.nodeOut[s.nodeOf[src]], s.nodeIn[s.nodeOf[dst]]}
+		pools = [3]*resource{a.interBuses, a.nodeOut[a.nodeOf[src]], a.nodeIn[a.nodeOf[dst]]}
 	}
 	var units [3]int
 	start := t
@@ -713,59 +1072,51 @@ func (s *Simulator) launch(src, dst int, k matchKey, st *stream, seq int, bytes 
 		}
 	}
 	arrive := start + flight
-	s.result.Comms[commIdx].StartT = start
-	s.result.Comms[commIdx].ArriveT = arrive
+	a.comms[commIdx].StartT = start
+	a.comms[commIdx].ArriveT = arrive
 	if !intra {
-		s.inFlight++
+		a.inFlight++
 	}
-	s.schedule(arrive, func() {
-		if !intra {
-			s.inFlight--
-		}
-		st.arrivals[seq] = arrive
-		if seq < len(st.posts) {
-			s.completePair(dst, k, st, seq)
-		}
-	})
+	a.schedule(arrive, evArrive, streamID, int32(seq))
 	return start + ser
 }
 
 // wakeRendezvous starts any rendezvous transfer whose matching post just
-// appeared.
-func (s *Simulator) wakeRendezvous(dst int, k matchKey, st *stream, postSeq int) {
-	pt, ok := st.pendingSend[postSeq]
-	if !ok {
+// appeared. Pending sends queue in strictly increasing seq order, so the
+// head of the queue is the only candidate for the new post.
+func (a *ReplayArena) wakeRendezvous(streamID int32, postSeq int) {
+	st := &a.streams[streamID]
+	if int(st.pendHead) >= len(st.pendQ) {
 		return
 	}
-	delete(st.pendingSend, postSeq)
-	start := pt.readyT
-	if s.now > start {
-		start = s.now
+	pt := &st.pendQ[st.pendHead]
+	if int(pt.seq) != postSeq {
+		return
 	}
-	injectEnd := s.launch(pt.src, dst, k, st, pt.seq, pt.bytes, start, pt.commIdx)
+	st.pendHead++
+	start := pt.readyT
+	if a.now > start {
+		start = a.now
+	}
+	injectEnd := a.launch(streamID, int(pt.seq), pt.bytes, start, int(pt.commIdx))
 	if pt.blocking {
-		rs := s.ranks[pt.src]
-		s.addInterval(rs.rank, rs.blockStart, injectEnd, StateSendBlocked)
+		src := a.prog.streams[streamID].src
+		rs := &a.ranks[src]
+		a.addInterval(int(src), rs.blockStart, injectEnd, StateSendBlocked)
 		rs.stats.SendBlockedSec += injectEnd - rs.blockStart
-		s.schedule(injectEnd, func() {
-			rs.blocked = blockNone
-			rs.pc++
-			s.advance(rs)
-		})
+		a.schedule(injectEnd, evSendResume, src, 0)
 	}
 }
 
 // completePair finishes the match of pair seq of one stream: it stamps the
 // comm event, completes the receive (blocking or handle), and wakes the
 // destination rank if it was blocked on this completion.
-func (s *Simulator) completePair(dst int, k matchKey, st *stream, seq int) {
-	for len(st.matched) <= seq {
-		st.matched = append(st.matched, false)
-	}
-	if st.matched[seq] {
+func (a *ReplayArena) completePair(streamID int32, seq int) {
+	st := &a.streams[streamID]
+	if seq >= len(st.matched) || st.matched[seq] {
 		return
 	}
-	if seq >= len(st.posts) || seq >= len(st.arrivals) || math.IsNaN(st.arrivals[seq]) {
+	if seq >= len(st.posts) || math.IsNaN(st.arrivals[seq]) {
 		return
 	}
 	st.matched[seq] = true
@@ -774,45 +1125,49 @@ func (s *Simulator) completePair(dst int, k matchKey, st *stream, seq int) {
 	if p.t > done {
 		done = p.t
 	}
-	if s.now > done {
-		done = s.now
+	if a.now > done {
+		done = a.now
 	}
 	if ci := st.commIdx[seq]; ci >= 0 {
-		s.result.Comms[ci].MatchT = done
+		a.comms[ci].MatchT = done
 	}
-	rs := s.ranks[dst]
+	dst := int(a.prog.streams[streamID].dst)
+	rs := &a.ranks[dst]
 	switch p.kind {
 	case postBlocking:
 		if rs.blocked == blockRecv {
 			// The rank can only be blocked on the oldest unmatched
 			// blocking post, which is this one (a rank posts at most
 			// one blocking recv at a time).
-			s.wakeFromWait(rs, done)
+			a.wakeFromWait(rs, dst, done)
 		}
 	case postNonBlocking:
-		rs.outstanding[p.handle] = done
+		if rs.hActive[p.handle] && math.IsNaN(rs.hTime[p.handle]) {
+			rs.incomplete--
+		}
+		rs.hTime[p.handle] = done
 		switch rs.blocked {
 		case blockWait:
 			if rs.waitHandle == p.handle {
-				delete(rs.outstanding, p.handle)
-				s.wakeFromWait(rs, done)
+				rs.hActive[p.handle] = false
+				a.wakeFromWait(rs, dst, done)
 			}
 		case blockWaitAll:
-			if s.waitAllDone(rs) {
-				s.wakeFromWait(rs, done)
+			if rs.waitAllDone() {
+				a.wakeFromWait(rs, dst, done)
 			}
 		}
 	}
 }
 
-func (s *Simulator) wakeFromWait(rs *rankState, done float64) {
+func (a *ReplayArena) wakeFromWait(rs *rankState, rank int, done float64) {
 	resume := done
 	if resume < rs.blockStart {
 		resume = rs.blockStart
 	}
-	s.addInterval(rs.rank, rs.blockStart, resume, StateWaitRecv)
+	a.addInterval(rank, rs.blockStart, resume, StateWaitRecv)
 	rs.stats.WaitSec += resume - rs.blockStart
 	rs.blocked = blockNone
 	rs.pc++
-	s.schedule(resume, func() { s.advance(rs) })
+	a.schedule(resume, evAdvance, int32(rank), 0)
 }
