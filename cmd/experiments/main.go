@@ -40,6 +40,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/platformflag"
 	"repro/internal/plot"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/tracer"
 )
@@ -53,7 +54,23 @@ func main() {
 	svgdir := flag.String("svgdir", "", "directory for SVG figures (optional)")
 	width := flag.Int("width", 100, "timeline/scatter width in characters")
 	workers := flag.Int("workers", 0, "experiment-engine worker pool size (0 = GOMAXPROCS)")
+	scenarioPath := flag.String("scenario", "", "run a declarative scenario spec (JSON, the POST /v1/scenarios schema) instead of the paper artifacts")
+	scenarioJSON := flag.Bool("scenario-json", false, "with -scenario, print the raw result JSON instead of the point table")
 	flag.Parse()
+
+	if *scenarioPath != "" {
+		res, raw, err := service.RunScenarioFile(context.Background(), *scenarioPath, engine.New(*workers), nil)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if *scenarioJSON {
+			os.Stdout.Write(raw)
+			fmt.Println()
+		} else {
+			fmt.Print(res.Format())
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	for _, k := range strings.Split(*only, ",") {

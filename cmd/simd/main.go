@@ -38,12 +38,25 @@ func main() {
 	cacheEntries := flag.Int("cache", service.DefaultCacheEntries, "result cache capacity in entries (0 or negative disables)")
 	storeDir := flag.String("store-dir", "", "disk tier for the content-addressed artifact store (empty = memory only)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling; leave off in untrusted networks)")
+	scenarioPath := flag.String("scenario", "", "one-shot mode: run a scenario spec (JSON, the POST /v1/scenarios schema) against -store-dir, print the result JSON, and exit without serving")
 	flag.Parse()
 
 	store, err := service.NewStore(*storeDir)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
 		os.Exit(1)
+	}
+	if *scenarioPath != "" {
+		// One-shot: the same spec POST /v1/scenarios accepts, executed on
+		// this process's store and engine, result JSON on stdout.
+		_, raw, err := service.RunScenarioFile(context.Background(), *scenarioPath, engine.New(*workers), store)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(raw)
+		fmt.Println()
+		return
 	}
 	// The flag's 0 means "no caching"; Options reserves 0 for "default"
 	// so the zero value stays usable as a library.

@@ -29,6 +29,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/platformflag"
+	"repro/internal/service"
 	"repro/internal/tracer"
 )
 
@@ -40,7 +41,24 @@ func main() {
 	refBW := flag.Float64("ref", 0, "reference inter-node bandwidth in MB/s (0 = the resolved platform's; overrides -bw)")
 	bws := flag.String("bws", "2,8,31,125,250,500,2000,8000", "comma-separated bandwidths for -mode series")
 	workers := flag.Int("workers", 0, "experiment-engine worker pool size (0 = GOMAXPROCS)")
+	scenarioPath := flag.String("scenario", "", "run a declarative scenario spec (JSON, the POST /v1/scenarios schema) instead of -mode")
+	scenarioJSON := flag.Bool("scenario-json", false, "with -scenario, print the raw result JSON instead of the point table")
 	flag.Parse()
+
+	if *scenarioPath != "" {
+		res, raw, err := service.RunScenarioFile(context.Background(), *scenarioPath, engine.New(*workers), nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweepbw: %v\n", err)
+			os.Exit(1)
+		}
+		if *scenarioJSON {
+			os.Stdout.Write(raw)
+			fmt.Println()
+		} else {
+			fmt.Print(res.Format())
+		}
+		return
+	}
 
 	entry, ok := apps.ByName(*app, *ranks)
 	if !ok {

@@ -38,21 +38,43 @@ func MappingSweep(app App, ranks int, plat network.Platform, tCfg tracer.Config,
 }
 
 // MappingSweepWith is MappingSweep under an explicit context and engine
-// (nil selects the default engine). The application is traced once; each
-// mapping rebuilds the base and overlapped traces from the shared run and
-// replays them on a pool worker.
+// (nil selects the default engine). It is a thin wrapper over a scenario
+// spec — a mapping axis with traffic output — so the application is
+// traced once, each flavor compiles once, and the per-mapping replays
+// run on pooled arenas across the worker pool.
 func MappingSweepWith(ctx context.Context, eng *engine.Engine, app App, ranks int, plat network.Platform, tCfg tracer.Config, mappings []network.Mapping) ([]MappingPoint, error) {
-	run, err := placementPrelude(app, ranks, plat, tCfg)
-	if err != nil {
-		return nil, err
+	specs := make([]string, len(mappings))
+	for i, m := range mappings {
+		specs[i] = m.String()
 	}
-	progs, err := compilePlacementPrograms(run)
-	if err != nil {
-		return nil, err
-	}
-	return engine.Map(ctx, eng, len(mappings), func(ctx context.Context, i int) (MappingPoint, error) {
-		return progs.point(plat.WithMapping(mappings[i]))
+	res, err := RunScenario(ctx, eng, Scenario{
+		App: app, Ranks: ranks, Tracer: tCfg, Platform: plat,
+		Flavors: []Flavor{FlavorBase, FlavorReal},
+		Axes:    []Axis{MappingAxis(specs...)},
+		Output:  OutputTraffic,
 	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MappingPoint, len(res.Points))
+	for i, pt := range res.Points {
+		out[i] = mappingPointFrom(mappings[i], pt)
+	}
+	return out, nil
+}
+
+// mappingPointFrom converts one traffic-output scenario point (flavors
+// base, overlap-real) back to the legacy sweep vocabulary.
+func mappingPointFrom(m network.Mapping, pt ScenarioPoint) MappingPoint {
+	base, real := pt.Flavors[0], pt.Flavors[1]
+	return MappingPoint{
+		Mapping:       m,
+		BaseFinishSec: base.FinishSec,
+		RealFinishSec: real.FinishSec,
+		SpeedupReal:   metrics.Speedup(base.FinishSec, real.FinishSec),
+		IntraBytes:    base.Traffic.IntraBytes,
+		InterBytes:    base.Traffic.InterBytes,
+	}
 }
 
 // NodeCountPoint is one measurement of a node-count sweep.
@@ -75,51 +97,36 @@ func NodeCountSweep(app App, ranks int, plat network.Platform, tCfg tracer.Confi
 }
 
 // NodeCountSweepWith is NodeCountSweep under an explicit context and
-// engine (nil selects the default engine).
+// engine (nil selects the default engine) — a thin wrapper over a
+// node-count-axis scenario spec.
 func NodeCountSweepWith(ctx context.Context, eng *engine.Engine, app App, ranks int, plat network.Platform, tCfg tracer.Config, nodeCounts []int) ([]NodeCountPoint, error) {
 	for _, n := range nodeCounts {
 		if n <= 0 {
 			return nil, fmt.Errorf("core: node count %d", n)
 		}
 	}
-	run, err := placementPrelude(app, ranks, plat, tCfg)
+	res, err := RunScenario(ctx, eng, Scenario{
+		App: app, Ranks: ranks, Tracer: tCfg, Platform: plat,
+		Flavors: []Flavor{FlavorBase, FlavorReal},
+		Axes:    []Axis{NodeCountAxis(nodeCounts...)},
+		Output:  OutputTraffic,
+	})
 	if err != nil {
 		return nil, err
 	}
-	progs, err := compilePlacementPrograms(run)
-	if err != nil {
-		return nil, err
-	}
-	return engine.Map(ctx, eng, len(nodeCounts), func(ctx context.Context, i int) (NodeCountPoint, error) {
-		mp, err := progs.point(plat.WithNodes(nodeCounts[i]))
-		if err != nil {
-			return NodeCountPoint{}, fmt.Errorf("core: %d nodes: %w", nodeCounts[i], err)
-		}
-		return NodeCountPoint{
+	out := make([]NodeCountPoint, len(res.Points))
+	for i, pt := range res.Points {
+		mp := mappingPointFrom(plat.Mapping, pt)
+		out[i] = NodeCountPoint{
 			Nodes:         nodeCounts[i],
 			BaseFinishSec: mp.BaseFinishSec,
 			RealFinishSec: mp.RealFinishSec,
 			SpeedupReal:   mp.SpeedupReal,
 			IntraBytes:    mp.IntraBytes,
 			InterBytes:    mp.InterBytes,
-		}, nil
-	})
-}
-
-// placementPrelude validates the platform and traces the application once;
-// both placement sweeps share it.
-func placementPrelude(app App, ranks int, plat network.Platform, tCfg tracer.Config) (*tracer.Run, error) {
-	if err := plat.Validate(); err != nil {
-		return nil, err
+		}
 	}
-	if ranks > plat.Processors {
-		return nil, fmt.Errorf("core: %d ranks exceed the platform's %d processors", ranks, plat.Processors)
-	}
-	run, err := tracer.Trace(app.Name, ranks, tCfg, app.Kernel)
-	if err != nil {
-		return nil, fmt.Errorf("core: placement tracing %q: %w", app.Name, err)
-	}
-	return run, nil
+	return out, nil
 }
 
 // placementPrograms is the compiled (base, overlapped-real) trace pair a
@@ -175,9 +182,10 @@ func (p placementPrograms) point(plat network.Platform) (MappingPoint, error) {
 }
 
 // PlacementReplayer replays one traced run's (base, overlapped-real) pair
-// across platform variants, compiling both traces exactly once. External
-// sweep drivers (the service's mapping-sweep jobs) use it to share the
-// compiled programs over all points.
+// across platform variants, compiling both traces exactly once — the
+// low-level primitive for drivers that manage their own traced runs
+// (cmd/experiments' mapping study); spec-driven sweeps go through
+// RunScenario instead.
 type PlacementReplayer struct {
 	progs placementPrograms
 }
@@ -207,26 +215,4 @@ func MappingPointOf(run *tracer.Run, plat network.Platform) (MappingPoint, error
 		return MappingPoint{}, err
 	}
 	return progs.point(plat)
-}
-
-// FormatMappingPoints renders a placement sweep as a table.
-func FormatMappingPoints(pts []MappingPoint) string {
-	out := fmt.Sprintf("%-12s %14s %14s %10s %14s %14s\n",
-		"mapping", "base (s)", "overlap (s)", "speedup", "intra bytes", "inter bytes")
-	for _, p := range pts {
-		out += fmt.Sprintf("%-12s %14.6f %14.6f %10.3f %14d %14d\n",
-			p.Mapping, p.BaseFinishSec, p.RealFinishSec, p.SpeedupReal, p.IntraBytes, p.InterBytes)
-	}
-	return out
-}
-
-// FormatNodeCountPoints renders a node-count sweep as a table.
-func FormatNodeCountPoints(pts []NodeCountPoint) string {
-	out := fmt.Sprintf("%-8s %14s %14s %10s %14s %14s\n",
-		"nodes", "base (s)", "overlap (s)", "speedup", "intra bytes", "inter bytes")
-	for _, p := range pts {
-		out += fmt.Sprintf("%-8d %14.6f %14.6f %10.3f %14d %14d\n",
-			p.Nodes, p.BaseFinishSec, p.RealFinishSec, p.SpeedupReal, p.IntraBytes, p.InterBytes)
-	}
-	return out
 }

@@ -1,0 +1,998 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tracer"
+)
+
+// The unified declarative study API. A Scenario names one workload, one
+// base platform, a flavor set, and a list of sweep axes whose cross
+// product defines a run grid; RunScenario canonicalizes the spec,
+// compiles each replayed trace flavor exactly once, expands the grid,
+// executes the points on pooled replayers through the experiment engine,
+// and returns a flat, deterministically ordered result table. Every
+// bespoke study of this package — chunk ablation, placement and
+// node-count sweeps, per-buffer what-if — is a thin wrapper over a
+// scenario spec, and the service layer's endpoints translate their wire
+// requests into the same specs, so a new sweep axis lands everywhere at
+// once instead of spawning a new API family.
+
+// AxisKind names one sweep dimension of a scenario grid.
+type AxisKind string
+
+// The sweep axes. Platform axes vary the interconnect (the knob a
+// cluster buyer controls; intra-node links stay fixed), workload axes
+// re-derive the replayed traces.
+const (
+	// AxisBandwidth sweeps the inter-node bandwidth in MB/s.
+	AxisBandwidth AxisKind = "bandwidth"
+	// AxisLatency sweeps the inter-node latency in seconds.
+	AxisLatency AxisKind = "latency"
+	// AxisBuses sweeps the global interconnect bus pool size.
+	AxisBuses AxisKind = "buses"
+	// AxisChunks sweeps the overlapped-trace chunk count (rebuilds the
+	// overlapped flavors from the one traced run, like ChunkSweep).
+	AxisChunks AxisKind = "chunks"
+	// AxisMapping sweeps the rank→node placement.
+	AxisMapping AxisKind = "mapping"
+	// AxisNodes sweeps the node count ranks are packed onto.
+	AxisNodes AxisKind = "nodes"
+	// AxisRanks sweeps the world size (re-traces the application per
+	// point; the platform is resized to match).
+	AxisRanks AxisKind = "ranks"
+)
+
+// Axis is one sweep dimension: a kind plus its points. Exactly one of
+// Values, Counts, or Mappings must be populated, matching the kind:
+// bandwidth and latency take Values, buses/chunks/nodes/ranks take
+// Counts, mapping takes Mappings (CLI spellings: "block", "rr", or an
+// explicit node list like "0,0,1,1").
+type Axis struct {
+	Kind     AxisKind  `json:"kind"`
+	Values   []float64 `json:"values,omitempty"`
+	Counts   []int     `json:"counts,omitempty"`
+	Mappings []string  `json:"mappings,omitempty"`
+}
+
+// BandwidthAxis sweeps the inter-node bandwidth (MB/s).
+func BandwidthAxis(mbps ...float64) Axis { return Axis{Kind: AxisBandwidth, Values: mbps} }
+
+// LatencyAxis sweeps the inter-node latency (seconds).
+func LatencyAxis(sec ...float64) Axis { return Axis{Kind: AxisLatency, Values: sec} }
+
+// BusesAxis sweeps the global interconnect bus pool size.
+func BusesAxis(buses ...int) Axis { return Axis{Kind: AxisBuses, Counts: buses} }
+
+// ChunksAxis sweeps the overlapped-trace chunk count.
+func ChunksAxis(counts ...int) Axis { return Axis{Kind: AxisChunks, Counts: counts} }
+
+// MappingAxis sweeps rank→node placements given in their CLI spellings.
+func MappingAxis(specs ...string) Axis { return Axis{Kind: AxisMapping, Mappings: specs} }
+
+// NodeCountAxis sweeps the node count.
+func NodeCountAxis(counts ...int) Axis { return Axis{Kind: AxisNodes, Counts: counts} }
+
+// RanksAxis sweeps the world size.
+func RanksAxis(counts ...int) Axis { return Axis{Kind: AxisRanks, Counts: counts} }
+
+// Len returns the number of points on the axis.
+func (a Axis) Len() int { return len(a.Values) + len(a.Counts) + len(a.Mappings) }
+
+// Validate checks the axis shape: a known kind whose matching value list
+// (and only it) is populated with sane points.
+func (a Axis) Validate() error {
+	populated := 0
+	if len(a.Values) > 0 {
+		populated++
+	}
+	if len(a.Counts) > 0 {
+		populated++
+	}
+	if len(a.Mappings) > 0 {
+		populated++
+	}
+	if populated > 1 {
+		return fmt.Errorf("core: axis %q populates %d of values/counts/mappings, want one", a.Kind, populated)
+	}
+	switch a.Kind {
+	case AxisBandwidth, AxisLatency:
+		if len(a.Counts) > 0 || len(a.Mappings) > 0 {
+			return fmt.Errorf("core: axis %q takes values, not counts or mappings", a.Kind)
+		}
+		for _, v := range a.Values {
+			if a.Kind == AxisBandwidth && v <= 0 {
+				return fmt.Errorf("core: axis %q: bandwidth %g MB/s, must be positive", a.Kind, v)
+			}
+			if a.Kind == AxisLatency && v < 0 {
+				return fmt.Errorf("core: axis %q: latency %g s, must be non-negative", a.Kind, v)
+			}
+		}
+	case AxisBuses, AxisChunks, AxisNodes, AxisRanks:
+		if len(a.Values) > 0 || len(a.Mappings) > 0 {
+			return fmt.Errorf("core: axis %q takes counts, not values or mappings", a.Kind)
+		}
+		for _, k := range a.Counts {
+			if k <= 0 && !(a.Kind == AxisBuses && k == 0) {
+				return fmt.Errorf("core: axis %q: count %d, must be positive", a.Kind, k)
+			}
+		}
+	case AxisMapping:
+		if len(a.Values) > 0 || len(a.Counts) > 0 {
+			return fmt.Errorf("core: axis %q takes mappings, not values or counts", a.Kind)
+		}
+		for _, s := range a.Mappings {
+			if _, err := network.ParseMapping(s); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("core: unknown axis kind %q", a.Kind)
+	}
+	return nil
+}
+
+// labels returns the canonical point labels of the axis — the strings
+// that appear both in the canonical spec (the digest input) and in the
+// result table's coordinates, so a result row names its grid point in
+// exactly the spelling the spec digested through.
+func (a Axis) labels() ([]string, error) {
+	out := make([]string, 0, a.Len())
+	switch a.Kind {
+	case AxisMapping:
+		for _, s := range a.Mappings {
+			m, err := network.ParseMapping(s)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, m.String())
+		}
+	case AxisBandwidth, AxisLatency:
+		for _, v := range a.Values {
+			out = append(out, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	default:
+		for _, k := range a.Counts {
+			out = append(out, strconv.Itoa(k))
+		}
+	}
+	return out, nil
+}
+
+// OutputKind selects what each grid point of a scenario retains.
+type OutputKind string
+
+// The output selectors, from cheapest to heaviest per point.
+const (
+	// OutputFinish retains each flavor's makespan (pooled replay).
+	OutputFinish OutputKind = "finish"
+	// OutputTraffic adds the intra/inter traffic split per flavor.
+	OutputTraffic OutputKind = "traffic"
+	// OutputWhatIf runs the per-buffer idealization ranking per point.
+	OutputWhatIf OutputKind = "whatif"
+	// OutputReport runs the full three-flavor analysis (wire report,
+	// patterns included) per point.
+	OutputReport OutputKind = "report"
+)
+
+// Scenario is the declarative spec of one study.
+//
+// The workload is either an application (App, or Factory when a ranks
+// axis must rebuild it per world size) traced through Tracer, or one
+// pre-built trace (Trace) replayed as its own single flavor. The sweep
+// axes' cross product — last axis fastest, like nested loops — defines
+// the run grid executed on Platform.
+type Scenario struct {
+	// App is the fixed-workload application. Its kernel must tolerate
+	// every swept rank count if a ranks axis is present and Factory is
+	// nil.
+	App App
+	// Factory, when set, rebuilds the application per rank count and
+	// takes precedence over App.
+	Factory AppFactory
+	// Ranks is the base world size (required in app mode).
+	Ranks int
+	// Tracer configures the instrumentation; the zero value selects
+	// tracer.DefaultConfig().
+	Tracer tracer.Config
+
+	// Trace selects trace mode: replay this one validated trace instead
+	// of tracing an application. Chunks/ranks axes, what-if, and report
+	// outputs need the traced run and are rejected in trace mode.
+	Trace *trace.Trace
+	// TraceDigest optionally pins Trace's content address (computed when
+	// empty).
+	TraceDigest string
+	// Program optionally supplies Trace's compiled replay program (e.g.
+	// from a digest-keyed cache); when nil the scenario compiles it.
+	Program *sim.Program
+	// CompileTrace, when set, compiles Trace on demand — the hook the
+	// service layer uses to route compilation through its digest-keyed
+	// program cache. Ignored when Program is set.
+	CompileTrace func(*trace.Trace) (*sim.Program, error)
+
+	// Platform is the base platform every grid point starts from.
+	Platform network.Platform
+	// Flavors lists the execution flavors measured per grid point for
+	// finish/traffic outputs (default: base and overlap-real; trace mode
+	// forces the trace's own flavor). Report and what-if outputs ignore
+	// it — they define their own flavor sets.
+	Flavors []Flavor
+	// Axes are the sweep dimensions; empty means a single grid point.
+	Axes []Axis
+	// Output selects what each point retains (default OutputFinish).
+	Output OutputKind
+
+	// Traces, when set, routes tracing and flavor compilation through a
+	// shared cache so concurrent scenarios over one application dedupe
+	// their instrumentation runs. Leave nil unless the app-name-equals-
+	// kernel invariant of the cache holds (the apps registry maintains
+	// it; ad-hoc kernels should not share a cache).
+	Traces *engine.TraceCache
+}
+
+// normalized returns a validated copy with defaults applied.
+func (s Scenario) normalized() (Scenario, error) {
+	if s.Tracer == (tracer.Config{}) {
+		s.Tracer = tracer.DefaultConfig()
+	}
+	if s.Output == "" {
+		s.Output = OutputFinish
+	}
+	switch s.Output {
+	case OutputFinish, OutputTraffic, OutputWhatIf, OutputReport:
+	default:
+		return s, fmt.Errorf("core: unknown scenario output %q", s.Output)
+	}
+	traceMode := s.Trace != nil
+	if traceMode {
+		if s.App.Kernel != nil || s.Factory != nil {
+			return s, fmt.Errorf("core: scenario sets both an app and a trace workload")
+		}
+		if s.Output == OutputWhatIf || s.Output == OutputReport {
+			return s, fmt.Errorf("core: %s output needs a traced application, not a stored trace", s.Output)
+		}
+		if err := s.Trace.Validate(); err != nil {
+			return s, fmt.Errorf("core: scenario trace: %w", err)
+		}
+		if s.TraceDigest == "" {
+			// Pin the content address once; the canonical spec, the
+			// result header, and the compile path all reuse it instead of
+			// re-hashing the trace.
+			digest, err := trace.Digest(s.Trace)
+			if err != nil {
+				return s, err
+			}
+			s.TraceDigest = digest
+		}
+		s.Ranks = s.Trace.NumRanks
+		own := Flavor(s.Trace.Flavor)
+		if len(s.Flavors) == 0 {
+			s.Flavors = []Flavor{own}
+		}
+		for _, f := range s.Flavors {
+			if f != own {
+				return s, fmt.Errorf("core: stored trace is flavor %q, cannot measure %q", own, f)
+			}
+		}
+	} else {
+		if s.App.Kernel == nil && s.Factory == nil {
+			return s, fmt.Errorf("core: scenario has no workload (app kernel, factory, or trace)")
+		}
+		if s.Ranks <= 0 {
+			return s, fmt.Errorf("core: scenario ranks=%d, must be positive", s.Ranks)
+		}
+		if s.Tracer.Chunks <= 0 {
+			return s, fmt.Errorf("core: scenario tracer chunks=%d, must be positive", s.Tracer.Chunks)
+		}
+		if len(s.Flavors) == 0 {
+			s.Flavors = []Flavor{FlavorBase, FlavorReal}
+		}
+		for _, f := range s.Flavors {
+			switch f {
+			case FlavorBase, FlavorReal, FlavorIdeal:
+			default:
+				return s, fmt.Errorf("core: unknown flavor %q", f)
+			}
+		}
+	}
+	if err := s.Platform.Validate(); err != nil {
+		return s, err
+	}
+	if s.Ranks > s.Platform.Processors {
+		return s, fmt.Errorf("core: %d ranks exceed the platform's %d processors", s.Ranks, s.Platform.Processors)
+	}
+	seen := map[AxisKind]bool{}
+	for _, ax := range s.Axes {
+		if err := ax.Validate(); err != nil {
+			return s, err
+		}
+		if seen[ax.Kind] {
+			return s, fmt.Errorf("core: duplicate %q axis", ax.Kind)
+		}
+		seen[ax.Kind] = true
+		if traceMode && (ax.Kind == AxisChunks || ax.Kind == AxisRanks) {
+			return s, fmt.Errorf("core: %q axis needs a traced application, not a stored trace", ax.Kind)
+		}
+	}
+	return s, nil
+}
+
+// GridSize returns the number of grid points the axes expand to (1 with
+// no axes; 0 if any axis is empty). The spec is not validated.
+func (s Scenario) GridSize() int {
+	n := 1
+	for _, ax := range s.Axes {
+		n *= ax.Len()
+	}
+	return n
+}
+
+// canonicalAxis is an axis reduced to its canonical point labels.
+type canonicalAxis struct {
+	Kind   AxisKind `json:"kind"`
+	Points []string `json:"points"`
+}
+
+// canonicalScenario is what a scenario digests through: every field that
+// changes the result, nothing that doesn't. The platform appears as its
+// canonical JSON (mapping materialized), traces as content digests, and
+// mapping-axis points in their parsed spelling — so equivalent spellings
+// of one study collapse to one digest.
+type canonicalScenario struct {
+	App         string          `json:"app,omitempty"`
+	Ranks       int             `json:"ranks,omitempty"`
+	Tracer      *tracer.Config  `json:"tracer,omitempty"`
+	TraceDigest string          `json:"trace_digest,omitempty"`
+	Platform    json.RawMessage `json:"platform"`
+	Flavors     []Flavor        `json:"flavors"`
+	Axes        []canonicalAxis `json:"axes"`
+	Output      OutputKind      `json:"output"`
+}
+
+// CanonicalJSON returns the canonical serialized form of the scenario:
+// compact JSON with a fixed field order, the platform canonicalized, the
+// workload content-addressed, and axis points in canonical spellings.
+// Two specs produce the same canonical bytes exactly when they define
+// the same study.
+func (s Scenario) CanonicalJSON() ([]byte, error) {
+	norm, err := s.normalized()
+	if err != nil {
+		return nil, err
+	}
+	platJSON, err := norm.Platform.CanonicalJSON()
+	if err != nil {
+		return nil, err
+	}
+	c := canonicalScenario{
+		Platform: platJSON,
+		Flavors:  norm.Flavors,
+		Axes:     make([]canonicalAxis, 0, len(norm.Axes)),
+		Output:   norm.Output,
+	}
+	if norm.Trace != nil {
+		c.TraceDigest = norm.TraceDigest // pinned by normalized()
+	} else {
+		c.App = norm.App.Name
+		if norm.Factory != nil {
+			app, err := norm.Factory(norm.Ranks)
+			if err != nil {
+				return nil, err
+			}
+			c.App = app.Name
+		}
+		c.Ranks = norm.Ranks
+		c.Tracer = &norm.Tracer
+	}
+	for _, ax := range norm.Axes {
+		labels, err := ax.labels()
+		if err != nil {
+			return nil, err
+		}
+		c.Axes = append(c.Axes, canonicalAxis{Kind: ax.Kind, Points: labels})
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("core: canonicalize scenario: %w", err)
+	}
+	return b, nil
+}
+
+// Digest returns the content address of the scenario spec, spelled like
+// trace and platform digests ("sha256:<64 hex digits>").
+func (s Scenario) Digest() (string, error) {
+	b, err := s.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}
+
+// Coord names one grid point's position on one axis, in the axis's
+// canonical point spelling.
+type Coord struct {
+	Axis  AxisKind `json:"axis"`
+	Value string   `json:"value"`
+}
+
+// WireTraffic is the per-flavor traffic split of a traffic-output point.
+type WireTraffic struct {
+	IntraBytes int64 `json:"intra_bytes"`
+	InterBytes int64 `json:"inter_bytes"`
+	IntraMsgs  int   `json:"intra_msgs"`
+	InterMsgs  int   `json:"inter_msgs"`
+}
+
+// FlavorMeasure is one flavor's measurement at one grid point.
+type FlavorMeasure struct {
+	Flavor Flavor `json:"flavor"`
+	// TraceDigest content-addresses the exact trace this row replayed.
+	TraceDigest string  `json:"trace_digest"`
+	FinishSec   float64 `json:"finish_sec"`
+	// Traffic is present for traffic output.
+	Traffic *WireTraffic `json:"traffic,omitempty"`
+}
+
+// ScenarioPoint is one row of the result table: a grid coordinate plus
+// the output selected by the spec.
+type ScenarioPoint struct {
+	Coords []Coord `json:"coords"`
+	// Flavors carries finish/traffic measurements, in spec flavor order.
+	Flavors []FlavorMeasure `json:"flavors,omitempty"`
+	// WhatIf carries the per-buffer ranking (what-if output).
+	WhatIf *WireWhatIf `json:"whatif,omitempty"`
+	// Report carries the full analysis (report output).
+	Report *WireReport `json:"report,omitempty"`
+}
+
+// ScenarioResult is the flat, deterministically ordered result table of
+// one scenario: grid points in row-major spec order (last axis fastest),
+// flavors in spec order within a point. It is also the wire form the
+// service's POST /v1/scenarios serves.
+type ScenarioResult struct {
+	App   string `json:"app"`
+	Ranks int    `json:"ranks,omitempty"`
+	// TraceDigest is set for trace-mode workloads.
+	TraceDigest string `json:"trace_digest,omitempty"`
+	// SpecDigest is the canonical digest of the spec that produced this
+	// result — the key the service caches under.
+	SpecDigest string `json:"spec_digest"`
+	// PlatformDigest content-addresses the base platform (before axis
+	// transforms).
+	PlatformDigest string          `json:"platform_digest"`
+	Output         OutputKind      `json:"output"`
+	Axes           []AxisKind      `json:"axes"`
+	Points         []ScenarioPoint `json:"points"`
+}
+
+// gridPoint is one expanded coordinate of the run grid.
+type gridPoint struct {
+	coords []Coord
+	plat   network.Platform
+	ranks  int
+	chunks int
+}
+
+// grid expands the axes' cross product into concrete run points,
+// row-major with the last axis fastest. Platform axes transform the base
+// platform; chunks/ranks axes re-parameterize the workload. Each point's
+// platform is validated after all transforms.
+func (s *Scenario) grid() ([]gridPoint, error) {
+	type axisPoints struct {
+		ax       Axis
+		labels   []string
+		mappings []network.Mapping
+	}
+	axes := make([]axisPoints, len(s.Axes))
+	for i, ax := range s.Axes {
+		labels, err := ax.labels()
+		if err != nil {
+			return nil, err
+		}
+		axes[i] = axisPoints{ax: ax, labels: labels}
+		if ax.Kind == AxisMapping {
+			axes[i].mappings = make([]network.Mapping, len(ax.Mappings))
+			for j, spec := range ax.Mappings {
+				m, err := network.ParseMapping(spec)
+				if err != nil {
+					return nil, err
+				}
+				axes[i].mappings[j] = m
+			}
+		}
+	}
+	total := s.GridSize()
+	pts := make([]gridPoint, 0, total)
+	for i := 0; i < total; i++ {
+		idx := make([]int, len(axes))
+		rem := i
+		for a := len(axes) - 1; a >= 0; a-- {
+			n := axes[a].ax.Len()
+			idx[a] = rem % n
+			rem /= n
+		}
+		pt := gridPoint{
+			coords: make([]Coord, len(axes)),
+			plat:   s.Platform,
+			ranks:  s.Ranks,
+			chunks: s.Tracer.Chunks,
+		}
+		// Workload axes apply first: the ranks resize rewrites the
+		// platform's Processors (and, for flat platforms, Nodes), and
+		// applying it before the platform axes lets an explicit nodes or
+		// mapping coordinate override it — each axis owns its own field
+		// regardless of spec order.
+		for a, ap := range axes {
+			k := idx[a]
+			pt.coords[a] = Coord{Axis: ap.ax.Kind, Value: ap.labels[k]}
+			switch ap.ax.Kind {
+			case AxisChunks:
+				pt.chunks = ap.ax.Counts[k]
+			case AxisRanks:
+				r := ap.ax.Counts[k]
+				pt.ranks = r
+				// Resize the platform to the swept world size: a flat
+				// (one-rank-per-node) platform stays flat, a multi-node
+				// platform keeps its node structure.
+				if !s.Platform.MultiNode() {
+					pt.plat = pt.plat.WithProcessors(r).WithNodes(r)
+				} else {
+					pt.plat = pt.plat.WithProcessors(r)
+				}
+			}
+		}
+		for a, ap := range axes {
+			k := idx[a]
+			switch ap.ax.Kind {
+			case AxisBandwidth:
+				pt.plat = pt.plat.WithInterBandwidth(ap.ax.Values[k])
+			case AxisLatency:
+				pt.plat = pt.plat.WithInterLatency(ap.ax.Values[k])
+			case AxisBuses:
+				pt.plat = pt.plat.WithBuses(ap.ax.Counts[k])
+			case AxisNodes:
+				pt.plat = pt.plat.WithNodes(ap.ax.Counts[k])
+			case AxisMapping:
+				pt.plat = pt.plat.WithMapping(ap.mappings[k])
+			}
+		}
+		if err := pt.plat.Validate(); err != nil {
+			return nil, fmt.Errorf("core: grid point %v: %w", pt.coords, err)
+		}
+		if pt.ranks > pt.plat.Processors {
+			return nil, fmt.Errorf("core: grid point %v: %d ranks exceed the platform's %d processors",
+				pt.coords, pt.ranks, pt.plat.Processors)
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+
+// progKey identifies one compiled replay program of the scenario's
+// workload. The base flavor ignores the chunk coordinate (chunking only
+// reshapes the overlapped builds), so a chunk axis compiles it once.
+type progKey struct {
+	ranks, chunks int
+	flavor        Flavor
+}
+
+type progEntry struct {
+	once   sync.Once
+	prog   *sim.Program
+	digest string
+	err    error
+}
+
+type runEntry struct {
+	once sync.Once
+	run  *tracer.Run
+	err  error
+}
+
+// scenarioExec owns the per-run memoization: traced runs per rank count
+// and compiled programs per (ranks, chunks, flavor). Every memo entry
+// resolves exactly once however many grid points share it — the
+// compile-once guarantee of the planner.
+type scenarioExec struct {
+	sc  *Scenario
+	mu  sync.Mutex
+	run map[int]*runEntry
+	pg  map[progKey]*progEntry
+}
+
+func newScenarioExec(sc *Scenario) *scenarioExec {
+	return &scenarioExec{sc: sc, run: map[int]*runEntry{}, pg: map[progKey]*progEntry{}}
+}
+
+// appFor resolves the application for one world size.
+func (x *scenarioExec) appFor(ranks int) (App, error) {
+	if x.sc.Factory != nil {
+		return x.sc.Factory(ranks)
+	}
+	return x.sc.App, nil
+}
+
+// runFor returns the traced run for one world size, tracing once.
+func (x *scenarioExec) runFor(ranks int) (*tracer.Run, error) {
+	x.mu.Lock()
+	ent, ok := x.run[ranks]
+	if !ok {
+		ent = &runEntry{}
+		x.run[ranks] = ent
+	}
+	x.mu.Unlock()
+	ent.once.Do(func() {
+		app, err := x.appFor(ranks)
+		if err != nil {
+			ent.err = err
+			return
+		}
+		if app.Kernel == nil {
+			ent.err = fmt.Errorf("core: app %q has no kernel", app.Name)
+			return
+		}
+		if x.sc.Traces != nil {
+			ent.run, ent.err = x.sc.Traces.Trace(app.Name, ranks, x.sc.Tracer, app.Kernel)
+			return
+		}
+		ent.run, ent.err = tracer.Trace(app.Name, ranks, x.sc.Tracer, app.Kernel)
+		if ent.err != nil {
+			ent.err = fmt.Errorf("core: scenario tracing %q: %w", app.Name, ent.err)
+		}
+	})
+	return ent.run, ent.err
+}
+
+// runAt returns the traced run re-parameterized for one grid point.
+func (x *scenarioExec) runAt(pt gridPoint) (*tracer.Run, error) {
+	run, err := x.runFor(pt.ranks)
+	if err != nil {
+		return nil, err
+	}
+	if pt.chunks != x.sc.Tracer.Chunks {
+		run = run.WithChunks(pt.chunks)
+	}
+	return run, nil
+}
+
+// progFor returns the compiled program and trace digest of one flavor at
+// one (ranks, chunks) workload coordinate, building/validating/compiling
+// exactly once per distinct key.
+func (x *scenarioExec) progFor(ranks, chunks int, f Flavor) (*sim.Program, string, error) {
+	if x.sc.Trace != nil {
+		ranks, chunks = 0, 0 // trace mode has one workload
+	} else if f == FlavorBase {
+		chunks = x.sc.Tracer.Chunks // the base trace is chunk-independent
+	}
+	key := progKey{ranks: ranks, chunks: chunks, flavor: f}
+	x.mu.Lock()
+	ent, ok := x.pg[key]
+	if !ok {
+		ent = &progEntry{}
+		x.pg[key] = ent
+	}
+	x.mu.Unlock()
+	ent.once.Do(func() { ent.prog, ent.digest, ent.err = x.compile(ranks, chunks, f) })
+	return ent.prog, ent.digest, ent.err
+}
+
+// compile resolves one program entry: trace-mode programs come from the
+// spec (or its CompileTrace hook), app-mode programs from the shared
+// trace cache when available, else from a private build of the flavor.
+func (x *scenarioExec) compile(ranks, chunks int, f Flavor) (*sim.Program, string, error) {
+	if tr := x.sc.Trace; tr != nil {
+		digest := x.sc.TraceDigest // pinned by normalized()
+		switch {
+		case x.sc.Program != nil:
+			return x.sc.Program, digest, nil
+		case x.sc.CompileTrace != nil:
+			prog, err := x.sc.CompileTrace(tr)
+			return prog, digest, err
+		}
+		prog, err := sim.Compile(tr)
+		return prog, digest, err
+	}
+	if x.sc.Traces != nil && chunks == x.sc.Tracer.Chunks {
+		// The shared cache builds, validates, and compiles each flavor
+		// once per (app, ranks, config) — across scenarios, not just
+		// within this one.
+		app, err := x.appFor(ranks)
+		if err != nil {
+			return nil, "", err
+		}
+		tr, prog, err := x.sc.Traces.CompiledTrace(app.Name, ranks, x.sc.Tracer, app.Kernel, string(f))
+		if err != nil {
+			return nil, "", err
+		}
+		digest, err := trace.Digest(tr)
+		return prog, digest, err
+	}
+	run, err := x.runFor(ranks)
+	if err != nil {
+		return nil, "", err
+	}
+	if chunks != x.sc.Tracer.Chunks {
+		run = run.WithChunks(chunks)
+	}
+	var tr *trace.Trace
+	switch f {
+	case FlavorBase:
+		tr = run.BaseTrace()
+	case FlavorReal:
+		tr = run.OverlapReal()
+	case FlavorIdeal:
+		tr = run.OverlapIdeal()
+	default:
+		return nil, "", fmt.Errorf("core: unknown flavor %q", f)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, "", fmt.Errorf("core: generated %s trace invalid: %w", f, err)
+	}
+	digest, err := trace.Digest(tr)
+	if err != nil {
+		return nil, "", err
+	}
+	prog, err := sim.Compile(tr)
+	return prog, digest, err
+}
+
+// RunScenario is the one planner behind every study: it canonicalizes
+// the spec, expands the axes' cross product into a run grid, executes
+// the points on pooled replayers through the engine (nil selects the
+// default engine), compiling each replayed trace flavor exactly once,
+// and returns the flat result table in deterministic row-major order.
+func RunScenario(ctx context.Context, eng *engine.Engine, spec Scenario) (*ScenarioResult, error) {
+	sc, err := spec.normalized()
+	if err != nil {
+		return nil, err
+	}
+	specDigest, err := sc.Digest()
+	if err != nil {
+		return nil, err
+	}
+	platDigest, err := sc.Platform.Digest()
+	if err != nil {
+		return nil, err
+	}
+	grid, err := sc.grid()
+	if err != nil {
+		return nil, err
+	}
+	res := &ScenarioResult{
+		Ranks:          sc.Ranks,
+		SpecDigest:     specDigest,
+		PlatformDigest: platDigest,
+		Output:         sc.Output,
+		Axes:           make([]AxisKind, 0, len(sc.Axes)),
+		Points:         make([]ScenarioPoint, 0, len(grid)),
+	}
+	for _, ax := range sc.Axes {
+		res.Axes = append(res.Axes, ax.Kind)
+	}
+	x := newScenarioExec(&sc)
+	if sc.Trace != nil {
+		res.App = sc.Trace.Name
+		res.TraceDigest = sc.TraceDigest // pinned by normalized()
+	} else {
+		app, err := x.appFor(sc.Ranks)
+		if err != nil {
+			return nil, err
+		}
+		res.App = app.Name
+	}
+
+	switch sc.Output {
+	case OutputFinish, OutputTraffic:
+		// Distinct (program, platform) pairs replay once however many
+		// grid points share them: a chunks axis varies only the
+		// overlapped flavors, so the chunk-independent base replays one
+		// time, not once per chunk count. Deduped points reuse the same
+		// measurement — deterministic replays make that byte-identical
+		// to replaying each point independently.
+		nf := len(sc.Flavors)
+		type measureJob struct {
+			pt gridPoint
+			f  Flavor
+		}
+		total := len(grid) * nf
+		jobOf := make([]int, total)
+		var jobs []measureJob
+		seen := map[string]int{}
+		for p, pt := range grid {
+			platJSON, err := pt.plat.CanonicalJSON()
+			if err != nil {
+				return nil, err
+			}
+			for k, f := range sc.Flavors {
+				ranks, chunks := pt.ranks, pt.chunks
+				if sc.Trace != nil {
+					ranks, chunks = 0, 0
+				} else if f == FlavorBase {
+					chunks = sc.Tracer.Chunks // mirrors progFor's normalization
+				}
+				key := fmt.Sprintf("%d|%d|%s|%s", ranks, chunks, f, platJSON)
+				j, ok := seen[key]
+				if !ok {
+					j = len(jobs)
+					seen[key] = j
+					jobs = append(jobs, measureJob{pt: pt, f: f})
+				}
+				jobOf[p*nf+k] = j
+			}
+		}
+		uniq, err := engine.Map(ctx, eng, len(jobs), func(ctx context.Context, j int) (FlavorMeasure, error) {
+			pt, f := jobs[j].pt, jobs[j].f
+			prog, digest, err := x.progFor(pt.ranks, pt.chunks, f)
+			if err != nil {
+				return FlavorMeasure{}, err
+			}
+			sum, err := sim.ReplaySummary(pt.plat, prog)
+			if err != nil {
+				return FlavorMeasure{}, fmt.Errorf("core: scenario point %v %s: %w", pt.coords, f, err)
+			}
+			m := FlavorMeasure{Flavor: f, TraceDigest: digest, FinishSec: sum.FinishSec}
+			if sc.Output == OutputTraffic {
+				m.Traffic = &WireTraffic{
+					IntraBytes: sum.IntraBytes,
+					InterBytes: sum.InterBytes,
+					IntraMsgs:  sum.IntraMsgs,
+					InterMsgs:  sum.InterMsgs,
+				}
+			}
+			return m, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for p := range grid {
+			ms := make([]FlavorMeasure, nf)
+			for k := 0; k < nf; k++ {
+				ms[k] = uniq[jobOf[p*nf+k]]
+			}
+			res.Points = append(res.Points, ScenarioPoint{Coords: grid[p].coords, Flavors: ms})
+		}
+	case OutputWhatIf:
+		points, err := engine.Map(ctx, eng, len(grid), func(ctx context.Context, i int) (*WireWhatIf, error) {
+			pt := grid[i]
+			run, err := x.runAt(pt)
+			if err != nil {
+				return nil, err
+			}
+			wi, err := WhatIfRunOn(ctx, eng, run, pt.plat)
+			if err != nil {
+				return nil, err
+			}
+			pd, err := pt.plat.Digest()
+			if err != nil {
+				return nil, err
+			}
+			return wi.Wire(pt.ranks, pd), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for p := range grid {
+			res.Points = append(res.Points, ScenarioPoint{Coords: grid[p].coords, WhatIf: points[p]})
+		}
+	case OutputReport:
+		points, err := engine.Map(ctx, eng, len(grid), func(ctx context.Context, i int) (*WireReport, error) {
+			pt := grid[i]
+			run, err := x.runAt(pt)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := AnalyzeRunOn(ctx, eng, run, pt.plat)
+			if err != nil {
+				return nil, err
+			}
+			return rep.Wire()
+		})
+		if err != nil {
+			return nil, err
+		}
+		for p := range grid {
+			res.Points = append(res.Points, ScenarioPoint{Coords: grid[p].coords, Report: points[p]})
+		}
+	}
+	return res, nil
+}
+
+// Format renders the result as text: finish/traffic outputs become one
+// point table (a row per grid point and flavor), what-if and report
+// outputs a section per grid point.
+func (r *ScenarioResult) Format() string {
+	out := fmt.Sprintf("scenario %s: %s over %d point(s)\n", r.App, r.Output, len(r.Points))
+	switch r.Output {
+	case OutputFinish, OutputTraffic:
+		cols := make([]TableColumn, 0, len(r.Axes)+6)
+		for i, ax := range r.Axes {
+			w := 14
+			if i == 0 {
+				w = 12
+			}
+			cols = append(cols, TableColumn{Name: string(ax), Width: w})
+		}
+		if len(r.Axes) == 0 {
+			cols = append(cols, TableColumn{Name: "point", Width: 12})
+		}
+		cols = append(cols, TableColumn{Name: "flavor", Width: 14}, TableColumn{Name: "finish (s)", Width: 14})
+		if r.Output == OutputTraffic {
+			cols = append(cols, TableColumn{Name: "intra bytes", Width: 14}, TableColumn{Name: "inter bytes", Width: 14})
+		}
+		rows := make([][]string, 0, len(r.Points))
+		for pi, pt := range r.Points {
+			for _, m := range pt.Flavors {
+				row := make([]string, 0, len(cols))
+				for _, c := range pt.Coords {
+					row = append(row, c.Value)
+				}
+				if len(pt.Coords) == 0 {
+					row = append(row, strconv.Itoa(pi))
+				}
+				row = append(row, string(m.Flavor), fmt.Sprintf("%.6f", m.FinishSec))
+				if r.Output == OutputTraffic && m.Traffic != nil {
+					row = append(row,
+						strconv.FormatInt(m.Traffic.IntraBytes, 10),
+						strconv.FormatInt(m.Traffic.InterBytes, 10))
+				}
+				rows = append(rows, row)
+			}
+		}
+		out += FormatPointTable(cols, rows)
+	case OutputWhatIf:
+		for _, pt := range r.Points {
+			if len(pt.Coords) > 0 {
+				out += fmt.Sprintf("\n-- %s --\n", coordsLabel(pt.Coords))
+			}
+			if pt.WhatIf != nil {
+				w := WhatIfReport{
+					App:           pt.WhatIf.App,
+					BaseFinishSec: pt.WhatIf.BaseFinishSec,
+					RealFinishSec: pt.WhatIf.RealFinishSec,
+					Buffers:       pt.WhatIf.Buffers,
+				}
+				out += w.Format()
+			}
+		}
+	case OutputReport:
+		for _, pt := range r.Points {
+			if len(pt.Coords) > 0 {
+				out += fmt.Sprintf("\n-- %s --\n", coordsLabel(pt.Coords))
+			}
+			if rep := pt.Report; rep != nil {
+				out += fmt.Sprintf("%s on %s\n", rep.App, rep.Platform)
+				for _, f := range rep.Flavors {
+					out += fmt.Sprintf("  %-14s finish %.6f s\n", f.Flavor, f.FinishSec)
+				}
+				out += fmt.Sprintf("  speedup real %.3f, ideal %.3f\n", rep.SpeedupReal, rep.SpeedupIdeal)
+			}
+		}
+	}
+	return out
+}
+
+// coordsLabel joins a point's coordinates into "axis=value" pairs.
+func coordsLabel(coords []Coord) string {
+	out := ""
+	for i, c := range coords {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%s", c.Axis, c.Value)
+	}
+	return out
+}

@@ -33,17 +33,39 @@ func ChunkSweep(app App, ranks int, netCfg network.Config, tCfg tracer.Config, c
 }
 
 // ChunkSweepWith is ChunkSweep under an explicit context and engine (nil
-// selects the default engine). The application is traced once; each chunk
-// count rebuilds the overlapped traces from a copy-on-write variant of
-// the shared run and replays them on a pool worker.
+// selects the default engine). It is a thin wrapper over a scenario spec
+// — a chunks axis measuring all three flavors — so the application is
+// traced once, each chunk count rebuilds the overlapped traces from a
+// copy-on-write variant of the shared run, the chunk-independent base
+// flavor compiles once, and every replay runs on a pooled arena.
 func ChunkSweepWith(ctx context.Context, eng *engine.Engine, app App, ranks int, netCfg network.Config, tCfg tracer.Config, counts []int) ([]ChunkPoint, error) {
-	run, baseFinish, err := chunkSweepPrelude(app, ranks, netCfg, tCfg, counts)
+	if err := netCfg.Validate(); err != nil {
+		return nil, err
+	}
+	for _, k := range counts {
+		if k <= 0 {
+			return nil, fmt.Errorf("core: chunk count %d", k)
+		}
+	}
+	res, err := RunScenario(ctx, eng, Scenario{
+		App: app, Ranks: ranks, Tracer: tCfg, Platform: netCfg.Platform(),
+		Flavors: []Flavor{FlavorBase, FlavorReal, FlavorIdeal},
+		Axes:    []Axis{ChunksAxis(counts...)},
+		Output:  OutputFinish,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return engine.Map(ctx, eng, len(counts), func(ctx context.Context, i int) (ChunkPoint, error) {
-		return chunkPoint(run, counts[i], netCfg, baseFinish)
-	})
+	out := make([]ChunkPoint, len(res.Points))
+	for i, pt := range res.Points {
+		base, real, ideal := pt.Flavors[0].FinishSec, pt.Flavors[1].FinishSec, pt.Flavors[2].FinishSec
+		out[i] = ChunkPoint{
+			Chunks:       counts[i],
+			SpeedupReal:  metrics.Speedup(base, real),
+			SpeedupIdeal: metrics.Speedup(base, ideal),
+		}
+	}
+	return out, nil
 }
 
 // ChunkSweepSerial is the serial reference implementation of ChunkSweep:

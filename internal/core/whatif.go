@@ -41,18 +41,13 @@ func WhatIf(app App, ranks int, netCfg network.Config, tCfg tracer.Config) (*Wha
 }
 
 // WhatIfWith is WhatIf under an explicit context and engine (nil selects
-// the default engine). The two reference replays and every selective
-// per-buffer replay are one engine job each, all reading the one shared
-// traced run.
+// the default engine) — a thin wrapper over a what-if-output scenario
+// spec with no sweep axes.
 func WhatIfWith(ctx context.Context, eng *engine.Engine, app App, ranks int, netCfg network.Config, tCfg tracer.Config) (*WhatIfReport, error) {
 	if err := netCfg.Validate(); err != nil {
 		return nil, err
 	}
-	run, err := tracer.Trace(app.Name, ranks, tCfg, app.Kernel)
-	if err != nil {
-		return nil, fmt.Errorf("core: what-if tracing %q: %w", app.Name, err)
-	}
-	return WhatIfRun(ctx, eng, run, netCfg)
+	return whatIfScenario(ctx, eng, app, ranks, netCfg.Platform(), tCfg)
 }
 
 // WhatIfOn is WhatIf on a hierarchical platform.
@@ -63,11 +58,25 @@ func WhatIfOn(ctx context.Context, eng *engine.Engine, app App, ranks int, plat 
 	if err := plat.Validate(); err != nil {
 		return nil, err
 	}
-	run, err := tracer.Trace(app.Name, ranks, tCfg, app.Kernel)
+	return whatIfScenario(ctx, eng, app, ranks, plat, tCfg)
+}
+
+// whatIfScenario runs the zero-axis what-if scenario both entry points
+// wrap and converts its single point back to the report form.
+func whatIfScenario(ctx context.Context, eng *engine.Engine, app App, ranks int, plat network.Platform, tCfg tracer.Config) (*WhatIfReport, error) {
+	res, err := RunScenario(ctx, eng, Scenario{
+		App: app, Ranks: ranks, Tracer: tCfg, Platform: plat, Output: OutputWhatIf,
+	})
 	if err != nil {
-		return nil, fmt.Errorf("core: what-if tracing %q: %w", app.Name, err)
+		return nil, err
 	}
-	return WhatIfRunOn(ctx, eng, run, plat)
+	w := res.Points[0].WhatIf
+	return &WhatIfReport{
+		App:           w.App,
+		BaseFinishSec: w.BaseFinishSec,
+		RealFinishSec: w.RealFinishSec,
+		Buffers:       w.Buffers,
+	}, nil
 }
 
 // WhatIfRun is the fan-out half of WhatIf for an already-traced run —

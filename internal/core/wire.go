@@ -224,19 +224,3 @@ type WireMappingSweep struct {
 	PlatformDigest string             `json:"platform_digest"`
 	Points         []WireMappingPoint `json:"points"`
 }
-
-// WireMappingPoints converts sweep points to their serving form.
-func WireMappingPoints(pts []MappingPoint) []WireMappingPoint {
-	out := make([]WireMappingPoint, len(pts))
-	for i, p := range pts {
-		out[i] = WireMappingPoint{
-			Mapping:       p.Mapping.String(),
-			BaseFinishSec: p.BaseFinishSec,
-			RealFinishSec: p.RealFinishSec,
-			SpeedupReal:   p.SpeedupReal,
-			IntraBytes:    p.IntraBytes,
-			InterBytes:    p.InterBytes,
-		}
-	}
-	return out
-}

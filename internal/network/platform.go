@@ -348,6 +348,13 @@ func (p Platform) WithInterBandwidth(mbps float64) Platform {
 	return p
 }
 
+// WithInterLatency returns a copy with the interconnect latency replaced —
+// the latency analogue of WithInterBandwidth for scenario sweeps.
+func (p Platform) WithInterLatency(sec float64) Platform {
+	p.Inter.LatencySec = sec
+	return p
+}
+
 // WithBuses returns a copy with the global interconnect bus pool resized.
 func (p Platform) WithBuses(buses int) Platform {
 	p.Buses = buses

@@ -128,6 +128,38 @@ func (c *Client) DownloadTrace(ctx context.Context, digest string) (*trace.Trace
 	return trace.ReadBinary(bytes.NewReader(raw))
 }
 
+// DeleteTrace removes a stored trace (and its compiled programs) from
+// the daemon.
+func (c *Client) DeleteTrace(ctx context.Context, digest string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/traces/"+digest, nil, "", nil)
+}
+
+// Scenario runs a synchronous declarative study.
+func (c *Client) Scenario(ctx context.Context, req service.ScenarioRequest) (*core.ScenarioResult, error) {
+	var res core.ScenarioResult
+	if err := c.postJSON(ctx, "/v1/scenarios", req, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// ScenarioRaw runs a synchronous declarative study and returns the exact
+// response bytes — the form the byte-identical cache guarantee is stated
+// in.
+func (c *Client) ScenarioRaw(ctx context.Context, req service.ScenarioRequest) ([]byte, error) {
+	var raw []byte
+	if err := c.postJSON(ctx, "/v1/scenarios", req, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// ScenarioAsync submits a declarative study and returns immediately with
+// the job.
+func (c *Client) ScenarioAsync(ctx context.Context, req service.ScenarioRequest) (service.Status, error) {
+	return c.submitAsync(ctx, "/v1/scenarios", req)
+}
+
 // Analyze runs a synchronous analysis.
 func (c *Client) Analyze(ctx context.Context, req service.AnalyzeRequest) (*core.WireReport, error) {
 	var rep core.WireReport

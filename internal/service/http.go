@@ -80,13 +80,21 @@ func publishMetrics(m *Manager) {
 //	POST   /v1/traces            upload a trace (text or binary codec)
 //	GET    /v1/traces            list stored trace digests
 //	GET    /v1/traces/{digest}   download a stored trace (binary codec)
-//	POST   /v1/analyze           three-flavour analysis        } sync by
-//	POST   /v1/whatif            per-buffer idealization       } default;
-//	POST   /v1/sweep/bandwidth   bandwidth sweep               } ?async=1
-//	POST   /v1/sweep/mapping     placement sweep               } returns 202
+//	DELETE /v1/traces/{digest}   delete a stored trace (drops its
+//	                             compiled programs too)
+//	POST   /v1/scenarios         generic declarative study:    } sync by
+//	                             workload × platform × axes    } default;
+//	POST   /v1/analyze           three-flavour analysis        } ?async=1
+//	POST   /v1/whatif            per-buffer idealization       } returns
+//	POST   /v1/sweep/bandwidth   bandwidth sweep               } 202
+//	POST   /v1/sweep/mapping     placement sweep               }
 //	GET    /v1/jobs              list jobs
 //	GET    /v1/jobs/{id}         poll one job (result inlined when done)
 //	DELETE /v1/jobs/{id}         cancel one job
+//
+// The four per-kind POST endpoints are spec translators over the same
+// scenario planner POST /v1/scenarios drives; their request and response
+// formats are unchanged.
 func NewHandler(m *Manager) http.Handler {
 	publishMetrics(m)
 	mux := http.NewServeMux()
@@ -159,6 +167,26 @@ func NewHandler(m *Manager) http.Handler {
 		}
 	})
 
+	mux.HandleFunc("DELETE /v1/traces/{digest}", func(w http.ResponseWriter, r *http.Request) {
+		digest := r.PathValue("digest")
+		if !trace.ValidDigest(digest) {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("malformed trace digest %q", digest))
+			return
+		}
+		found, err := m.store.DeleteTrace(digest)
+		if err != nil {
+			// The digest parsed; a delete that still fails is a disk-tier
+			// fault, the server's problem, not the client's.
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if !found {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown trace %s", digest))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": digest})
+	})
+
 	submit := func(w http.ResponseWriter, r *http.Request, req Request) {
 		job, err := m.Submit(req)
 		if err != nil {
@@ -183,6 +211,13 @@ func NewHandler(m *Manager) http.Handler {
 		w.Write(payload)
 	}
 
+	mux.HandleFunc("POST /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
+		var req ScenarioRequest
+		if !decodeRequest(w, r, &req) {
+			return
+		}
+		submit(w, r, req)
+	})
 	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
 		var req AnalyzeRequest
 		if !decodeRequest(w, r, &req) {

@@ -69,6 +69,19 @@ func (c *lruCache[V]) Put(key string, value V) {
 	}
 }
 
+// Delete drops key from the cache, reporting whether it was present.
+func (c *lruCache[V]) Delete(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.order.Remove(el)
+	delete(c.entries, key)
+	return true
+}
+
 // Len reports how many entries are cached.
 func (c *lruCache[V]) Len() int {
 	c.mu.Lock()

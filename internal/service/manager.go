@@ -74,7 +74,10 @@ type Manager struct {
 }
 
 // maxCompiledPrograms bounds the digest-keyed program cache, mirroring
-// the store's memory-tier trace capacity.
+// the store's memory-tier trace capacity. The bound is the backstop; the
+// store's eviction hook (registered in NewManager) is what actually
+// keeps the two in lockstep — a trace leaving the store drops its
+// program immediately.
 const maxCompiledPrograms = 1024
 
 // compiledTrace returns the replay program for a stored trace, compiling
@@ -89,7 +92,30 @@ func (m *Manager) compiledTrace(digest string, tr *trace.Trace) (*sim.Program, e
 		return nil, err
 	}
 	m.progs.Put(digest, prog)
+	// Re-validate after the Put: if the trace was deleted from the store
+	// while we compiled, its eviction hook fired before the program
+	// existed and would have deleted nothing — drop the entry now so a
+	// deleted trace's program is never pinned. (An eviction that races
+	// past this check fires the hook after our Put and wins anyway.)
+	if !m.store.ContainsTrace(digest) {
+		m.progs.Delete(digest)
+	}
 	return prog, nil
+}
+
+// traceCompiler adapts compiledTrace to the scenario planner's
+// CompileTrace hook for one stored digest.
+func (m *Manager) traceCompiler(digest string) func(*trace.Trace) (*sim.Program, error) {
+	return func(tr *trace.Trace) (*sim.Program, error) {
+		return m.compiledTrace(digest, tr)
+	}
+}
+
+// CompiledProgramCached reports whether the digest's compiled program is
+// resident — the observable the eviction tests assert on.
+func (m *Manager) CompiledProgramCached(digest string) bool {
+	_, ok := m.progs.Get(digest)
+	return ok
 }
 
 // NewManager builds a manager from opts.
@@ -110,7 +136,7 @@ func NewManager(opts Options) (*Manager, error) {
 	if entries == 0 {
 		entries = DefaultCacheEntries
 	}
-	return &Manager{
+	m := &Manager{
 		eng:      eng,
 		store:    store,
 		cache:    newResultCache(entries),
@@ -119,7 +145,12 @@ func NewManager(opts Options) (*Manager, error) {
 		slots:    make(chan struct{}, eng.Workers()),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
-	}, nil
+	}
+	// Tie the compiled-program cache to the store's capacity: a trace
+	// evicted (or deleted) from the store drops its program instead of
+	// pinning it until the program LRU happens to cycle.
+	store.OnTraceEvict(func(digest string) { m.progs.Delete(digest) })
+	return m, nil
 }
 
 // Engine returns the manager's worker pool.

@@ -10,12 +10,17 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
-	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/network"
-	"repro/internal/sim"
-	"repro/internal/trace"
 	"repro/internal/tracer"
 )
+
+// Every request below is a *spec translator*: prepare validates the wire
+// body, translates it into a core.Scenario, and renders the scenario
+// result back into the endpoint's legacy wire type — so the four
+// per-kind endpoints and POST /v1/scenarios share one planner, one
+// compile-once program path, and one grid executor, while their response
+// formats (and cache keys) stay exactly as published.
 
 // Request kinds, used as job labels and in canonical keys.
 const (
@@ -62,10 +67,11 @@ type task struct {
 	run  func(ctx context.Context, m *Manager) (any, error)
 }
 
-// canonicalRequest is what a request digests through: every field that
-// changes the result, nothing that doesn't. Platforms and traces appear
-// as content digests, so equivalent spellings (preset name vs uploaded
-// JSON vs explicit mapping list) collapse to one key.
+// canonicalRequest is what a legacy request digests through: every field
+// that changes the result, nothing that doesn't. Platforms and traces
+// appear as content digests, so equivalent spellings (preset name vs
+// uploaded JSON vs explicit mapping list) collapse to one key. Scenario
+// requests digest through core.Scenario.CanonicalJSON instead.
 type canonicalRequest struct {
 	Kind           string        `json:"kind"`
 	App            string        `json:"app,omitempty"`
@@ -198,19 +204,22 @@ func (r AnalyzeRequest) prepare(m *Manager) (*task, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The spec translation: a zero-axis report-output scenario is exactly
+	// one full analysis; its single point carries the wire report.
+	sc := core.Scenario{
+		App: app, Ranks: r.Ranks, Tracer: tCfg, Platform: plat,
+		Output: core.OutputReport,
+	}
 	return &task{
 		kind: KindAnalyze,
 		key:  key,
 		run: func(ctx context.Context, m *Manager) (any, error) {
-			run, err := m.eng.Traces().Trace(r.App, r.Ranks, tCfg, app.Kernel)
+			sc.Traces = m.eng.Traces()
+			res, err := core.RunScenario(ctx, m.eng, sc)
 			if err != nil {
 				return nil, err
 			}
-			rep, err := core.AnalyzeRunOn(ctx, m.eng, run, plat)
-			if err != nil {
-				return nil, err
-			}
-			return rep.Wire()
+			return res.Points[0].Report, nil
 		},
 	}, nil
 }
@@ -250,19 +259,20 @@ func (r WhatIfRequest) prepare(m *Manager) (*task, error) {
 	if err != nil {
 		return nil, err
 	}
+	sc := core.Scenario{
+		App: app, Ranks: r.Ranks, Tracer: tCfg, Platform: plat,
+		Output: core.OutputWhatIf,
+	}
 	return &task{
 		kind: KindWhatIf,
 		key:  key,
 		run: func(ctx context.Context, m *Manager) (any, error) {
-			run, err := m.eng.Traces().Trace(r.App, r.Ranks, tCfg, app.Kernel)
+			sc.Traces = m.eng.Traces()
+			res, err := core.RunScenario(ctx, m.eng, sc)
 			if err != nil {
 				return nil, err
 			}
-			wi, err := core.WhatIfRunOn(ctx, m.eng, run, plat)
-			if err != nil {
-				return nil, err
-			}
-			return wi.Wire(r.Ranks, platDigest), nil
+			return res.Points[0].WhatIf, nil
 		},
 	}, nil
 }
@@ -330,26 +340,30 @@ func (r BandwidthSweepRequest) prepare(m *Manager) (*task, error) {
 		if err != nil {
 			return nil, err
 		}
+		digest := r.Trace
+		sc := core.Scenario{
+			Trace: tr, TraceDigest: digest, Platform: plat,
+			Axes:   []core.Axis{core.BandwidthAxis(bandwidths...)},
+			Output: core.OutputFinish,
+		}
 		return &task{
 			kind: KindBandwidthSweep,
 			key:  key,
 			run: func(ctx context.Context, m *Manager) (any, error) {
-				// Stored traces compile once per digest; every sweep of
-				// this trace after the first replays the cached program.
-				prog, err := m.compiledTrace(r.Trace, tr)
-				if err != nil {
-					return nil, err
-				}
-				points, err := sweepProgram(ctx, m.eng, prog, plat, bandwidths)
+				// Stored traces compile once per digest through the
+				// manager's program cache; every sweep of this trace after
+				// the first replays the cached program.
+				sc.CompileTrace = m.traceCompiler(digest)
+				res, err := core.RunScenario(ctx, m.eng, sc)
 				if err != nil {
 					return nil, err
 				}
 				return &core.WireBandwidthSweep{
 					App:            tr.Name,
 					Flavor:         tr.Flavor,
-					TraceDigest:    r.Trace,
+					TraceDigest:    digest,
 					PlatformDigest: platDigest,
-					Points:         points,
+					Points:         sweepPointsFrom(bandwidths, res),
 				}, nil
 			},
 		}, nil
@@ -388,52 +402,46 @@ func (r BandwidthSweepRequest) prepare(m *Manager) (*task, error) {
 	if err != nil {
 		return nil, err
 	}
+	sc := core.Scenario{
+		App: app, Ranks: r.Ranks, Tracer: tCfg, Platform: plat,
+		Flavors: []core.Flavor{flavor},
+		Axes:    []core.Axis{core.BandwidthAxis(bandwidths...)},
+		Output:  core.OutputFinish,
+	}
 	return &task{
 		kind: KindBandwidthSweep,
 		key:  key,
 		run: func(ctx context.Context, m *Manager) (any, error) {
-			// The engine's trace cache hands back the flavour trace
-			// together with its compiled program: build, validation, and
-			// compilation are shared across requests for this app triple.
-			tr, prog, err := m.eng.Traces().CompiledTrace(r.App, r.Ranks, tCfg, app.Kernel, string(flavor))
+			// The engine's trace cache builds, validates, and compiles the
+			// flavour once; requests for the same app triple share it.
+			sc.Traces = m.eng.Traces()
+			res, err := core.RunScenario(ctx, m.eng, sc)
 			if err != nil {
 				return nil, err
 			}
-			traceDigest, err := trace.Digest(tr)
-			if err != nil {
-				return nil, err
-			}
-			points, err := sweepProgram(ctx, m.eng, prog, plat, bandwidths)
-			if err != nil {
-				return nil, err
+			traceDigest := ""
+			if len(res.Points) > 0 {
+				traceDigest = res.Points[0].Flavors[0].TraceDigest
 			}
 			return &core.WireBandwidthSweep{
 				App:            r.App,
 				Flavor:         string(flavor),
 				TraceDigest:    traceDigest,
 				PlatformDigest: platDigest,
-				Points:         points,
+				Points:         sweepPointsFrom(bandwidths, res),
 			}, nil
 		},
 	}, nil
 }
 
-// sweepProgram fans the per-bandwidth replays of one compiled program out
-// across the engine, keeping the input order. Each point replays on a
-// pooled arena — a saturated sweep allocates no per-replay simulator
-// state.
-func sweepProgram(ctx context.Context, eng *engine.Engine, prog *sim.Program, plat network.Platform, bandwidths []float64) ([]core.WireSweepPoint, error) {
-	fins, err := engine.Map(ctx, eng, len(bandwidths), func(ctx context.Context, i int) (float64, error) {
-		return sim.ReplayFinish(plat.WithInterBandwidth(bandwidths[i]), prog)
-	})
-	if err != nil {
-		return nil, err
+// sweepPointsFrom renders a bandwidth-axis scenario result into the
+// legacy sweep-point list, in input bandwidth order.
+func sweepPointsFrom(bandwidths []float64, res *core.ScenarioResult) []core.WireSweepPoint {
+	points := make([]core.WireSweepPoint, len(res.Points))
+	for i, pt := range res.Points {
+		points[i] = core.WireSweepPoint{BandwidthMBps: bandwidths[i], FinishSec: pt.Flavors[0].FinishSec}
 	}
-	points := make([]core.WireSweepPoint, len(bandwidths))
-	for i, bw := range bandwidths {
-		points[i] = core.WireSweepPoint{BandwidthMBps: bw, FinishSec: fins[i]}
-	}
-	return points, nil
+	return points
 }
 
 // ---------------------------------------------------------------------------
@@ -501,29 +509,38 @@ func (r MappingSweepRequest) prepare(m *Manager) (*task, error) {
 	if err != nil {
 		return nil, err
 	}
+	sc := core.Scenario{
+		App: app, Ranks: r.Ranks, Tracer: tCfg, Platform: plat,
+		Flavors: []core.Flavor{core.FlavorBase, core.FlavorReal},
+		Axes:    []core.Axis{core.MappingAxis(specs...)},
+		Output:  core.OutputTraffic,
+	}
 	return &task{
 		kind: KindMappingSweep,
 		key:  key,
 		run: func(ctx context.Context, m *Manager) (any, error) {
-			run, err := m.eng.Traces().Trace(r.App, r.Ranks, tCfg, app.Kernel)
+			sc.Traces = m.eng.Traces()
+			res, err := core.RunScenario(ctx, m.eng, sc)
 			if err != nil {
 				return nil, err
 			}
-			replayer, err := core.NewPlacementReplayer(run)
-			if err != nil {
-				return nil, err
-			}
-			pts, err := engine.Map(ctx, m.eng, len(mappings), func(ctx context.Context, i int) (core.MappingPoint, error) {
-				return replayer.Point(plat.WithMapping(mappings[i]))
-			})
-			if err != nil {
-				return nil, err
+			pts := make([]core.WireMappingPoint, len(res.Points))
+			for i, pt := range res.Points {
+				base, real := pt.Flavors[0], pt.Flavors[1]
+				pts[i] = core.WireMappingPoint{
+					Mapping:       mappings[i].String(),
+					BaseFinishSec: base.FinishSec,
+					RealFinishSec: real.FinishSec,
+					SpeedupReal:   metrics.Speedup(base.FinishSec, real.FinishSec),
+					IntraBytes:    base.Traffic.IntraBytes,
+					InterBytes:    base.Traffic.InterBytes,
+				}
 			}
 			return &core.WireMappingSweep{
 				App:            r.App,
 				Ranks:          r.Ranks,
 				PlatformDigest: platDigest,
-				Points:         core.WireMappingPoints(pts),
+				Points:         pts,
 			}, nil
 		},
 	}, nil

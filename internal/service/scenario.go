@@ -1,0 +1,167 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// KindScenario labels generic scenario jobs (POST /v1/scenarios).
+const KindScenario = "scenario"
+
+// maxGridPoints bounds a scenario's expanded run grid — the same budget
+// the per-kind sweeps enforce per request, applied to the cross product.
+const maxGridPoints = maxSweepPoints
+
+// ScenarioRequest is the generic declarative study request (the POST
+// /v1/scenarios body): one workload, one platform, a flavor set, and a
+// list of sweep axes whose cross product defines the run grid. It
+// subsumes every per-kind endpoint — those are served as translations
+// into this spec.
+type ScenarioRequest struct {
+	// App mode: trace the registry application on Ranks processes.
+	App    string `json:"app,omitempty"`
+	Ranks  int    `json:"ranks,omitempty"`
+	Chunks int    `json:"chunks,omitempty"`
+	// Trace mode: replay a stored trace, referenced by digest. Exactly
+	// one of App or Trace must be set.
+	Trace string `json:"trace,omitempty"`
+
+	Platform *PlatformSpec `json:"platform,omitempty"`
+	// Flavors lists the flavors measured per grid point for finish and
+	// traffic outputs (default: base and overlap-real).
+	Flavors []string `json:"flavors,omitempty"`
+	// Axes are the sweep dimensions; their cross product is the grid.
+	Axes []core.Axis `json:"axes,omitempty"`
+	// Output is finish (default), traffic, whatif, or report.
+	Output string `json:"output,omitempty"`
+}
+
+func (r ScenarioRequest) prepare(m *Manager) (*task, error) {
+	if (r.App == "") == (r.Trace == "") {
+		return nil, fmt.Errorf("service: scenario needs exactly one of app or trace")
+	}
+	sc := core.Scenario{
+		Axes:   r.Axes,
+		Output: core.OutputKind(r.Output),
+	}
+	for _, f := range r.Flavors {
+		sc.Flavors = append(sc.Flavors, core.Flavor(f))
+	}
+	for _, ax := range r.Axes {
+		if ax.Len() == 0 {
+			return nil, fmt.Errorf("service: scenario axis %q has no points", ax.Kind)
+		}
+	}
+
+	if r.Trace != "" {
+		if r.Ranks != 0 || r.Chunks != 0 {
+			return nil, fmt.Errorf("service: trace-mode scenario does not take ranks or chunks")
+		}
+		tr, err := m.store.GetTrace(r.Trace)
+		if err != nil {
+			return nil, err
+		}
+		digest := r.Trace
+		sc.Trace = tr
+		sc.TraceDigest = digest
+		// Compilation routes through the manager's digest-keyed program
+		// cache, so repeated scenarios over one stored trace compile it
+		// once — and eviction from the store drops the program too.
+		sc.CompileTrace = m.traceCompiler(digest)
+		plat, _, err := m.resolvePlatform(r.Platform, tr.Name, tr.NumRanks)
+		if err != nil {
+			return nil, err
+		}
+		sc.Platform = plat
+	} else {
+		if _, err := appEntry(r.App, r.Ranks); err != nil {
+			return nil, err
+		}
+		tCfg, err := tracerConfig(r.Chunks)
+		if err != nil {
+			return nil, err
+		}
+		app := r.App
+		sc.Ranks = r.Ranks
+		sc.Tracer = tCfg
+		sc.Factory = func(ranks int) (core.App, error) { return appEntry(app, ranks) }
+		// A ranks axis re-traces per point: every swept world size must
+		// resolve in the registry (and respect the ranks cap) up front.
+		for _, ax := range r.Axes {
+			if ax.Kind == core.AxisRanks {
+				for _, k := range ax.Counts {
+					if _, err := appEntry(r.App, k); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		plat, _, err := m.resolvePlatform(r.Platform, r.App, r.Ranks)
+		if err != nil {
+			return nil, err
+		}
+		sc.Platform = plat
+		sc.Traces = m.eng.Traces()
+	}
+
+	if n := sc.GridSize(); n > maxGridPoints {
+		return nil, fmt.Errorf("service: scenario grid has %d points, limit %d", sc.GridSize(), maxGridPoints)
+	}
+	// The canonical spec digest is the cache key: equivalent spellings of
+	// one study (preset vs inline platform, "block" vs its node list)
+	// collapse to one entry. Digest also validates the spec, so malformed
+	// scenarios fail here, before any engine work.
+	key, err := sc.Digest()
+	if err != nil {
+		return nil, err
+	}
+	return &task{
+		kind: KindScenario,
+		key:  key,
+		run: func(ctx context.Context, m *Manager) (any, error) {
+			return core.RunScenario(ctx, m.eng, sc)
+		},
+	}, nil
+}
+
+// RunScenarioFile loads a scenario spec (the POST /v1/scenarios body,
+// unknown fields rejected) from path and executes it locally on a
+// one-off manager — the shared implementation of every CLI's -scenario
+// flag. A nil store serves app-mode scenarios only; passing a disk-tier
+// store lets specs reference stored trace digests. Returns the decoded
+// result and the exact marshalled bytes the daemon would have served.
+func RunScenarioFile(ctx context.Context, path string, eng *engine.Engine, store *Store) (*core.ScenarioResult, []byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: scenario file: %w", err)
+	}
+	var req ScenarioRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, fmt.Errorf("service: scenario file %s: %w", path, err)
+	}
+	mgr, err := NewManager(Options{Engine: eng, Store: store, CacheEntries: -1})
+	if err != nil {
+		return nil, nil, err
+	}
+	job, err := mgr.Submit(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	payload, err := job.Wait(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	var res core.ScenarioResult
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return nil, nil, err
+	}
+	return &res, payload, nil
+}

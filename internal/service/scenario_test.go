@@ -1,0 +1,329 @@
+// Golden equivalence and caching tests of the scenario endpoint: the
+// acceptance criteria of the unified Scenario API. Each legacy endpoint
+// must serve bytes identical to its scenario-spec translation, and a
+// repeated scenario submission must be served from cache byte-identically
+// with zero new engine jobs.
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/service"
+	"repro/internal/tracer"
+)
+
+// rawScenarioResult mirrors core.ScenarioResult but keeps the per-point
+// payloads as raw bytes, so byte-level comparisons against the legacy
+// endpoints see the exact served JSON.
+type rawScenarioResult struct {
+	PlatformDigest string `json:"platform_digest"`
+	Points         []struct {
+		Flavors []core.FlavorMeasure `json:"flavors"`
+		WhatIf  json.RawMessage      `json:"whatif"`
+		Report  json.RawMessage      `json:"report"`
+	} `json:"points"`
+}
+
+// TestScenarioCrossProductCached is the headline acceptance path: one
+// spec with two sweep axes (bandwidth × mapping) executes as one
+// cross-product grid, and resubmitting the same spec is served from
+// cache byte-identically with zero new engine jobs.
+func TestScenarioCrossProductCached(t *testing.T) {
+	mgr, cl := newService(t, 4)
+	ctx := context.Background()
+	req := service.ScenarioRequest{
+		App: "cg", Ranks: 8,
+		Platform: &service.PlatformSpec{Preset: "marenostrum-4x"},
+		Axes: []core.Axis{
+			core.BandwidthAxis(125, 500),
+			core.MappingAxis("block", "rr"),
+		},
+		Output: "traffic",
+	}
+	first, err := cl.ScenarioRaw(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res core.ScenarioResult
+	if err := json.Unmarshal(first, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("%d grid points, want 4 (2 bandwidths x 2 mappings)", len(res.Points))
+	}
+	if res.SpecDigest == "" || res.Points[0].Coords[0].Axis != core.AxisBandwidth {
+		t.Fatalf("malformed result: %+v", res)
+	}
+	afterFirst := mgr.Engine().Stats()
+	second, err := cl.ScenarioRaw(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("cached scenario response not byte-identical")
+	}
+	if afterSecond := mgr.Engine().Stats(); afterSecond.Started != afterFirst.Started {
+		t.Fatalf("cached scenario spawned engine jobs: %d -> %d", afterFirst.Started, afterSecond.Started)
+	}
+	// Equivalent spelling — the same platform inline instead of by preset
+	// name — must also hit the cache (canonical spec digests collapse).
+	before := mgr.Engine().Stats()
+	plat := res.PlatformDigest
+	respell := req
+	respell.Platform = &service.PlatformSpec{Digest: plat}
+	third, err := cl.ScenarioRaw(ctx, respell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, third) {
+		t.Fatal("platform-digest spelling returned different bytes")
+	}
+	if after := mgr.Engine().Stats(); after.Started != before.Started {
+		t.Fatal("equivalent spelling re-simulated instead of hitting the cache")
+	}
+}
+
+// TestAnalyzeIsScenarioTranslation: POST /v1/analyze serves exactly the
+// report a zero-axis report-output scenario embeds in its single point.
+func TestAnalyzeIsScenarioTranslation(t *testing.T) {
+	_, cl := newService(t, 2)
+	ctx := context.Background()
+	legacy, err := cl.AnalyzeRaw(ctx, service.AnalyzeRequest{App: "cg", Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := cl.ScenarioRaw(ctx, service.ScenarioRequest{App: "cg", Ranks: 4, Output: "report"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res rawScenarioResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 {
+		t.Fatalf("%d points, want 1", len(res.Points))
+	}
+	if !bytes.Equal(legacy, res.Points[0].Report) {
+		t.Fatalf("legacy analyze differs from scenario translation:\n%s\n%s", legacy, res.Points[0].Report)
+	}
+}
+
+// TestWhatIfIsScenarioTranslation: POST /v1/whatif == the scenario
+// point's whatif payload, byte for byte.
+func TestWhatIfIsScenarioTranslation(t *testing.T) {
+	_, cl := newService(t, 2)
+	ctx := context.Background()
+	wi, err := cl.WhatIf(ctx, service.WhatIfRequest{App: "cg", Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := json.Marshal(wi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := cl.ScenarioRaw(ctx, service.ScenarioRequest{App: "cg", Ranks: 4, Output: "whatif"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res rawScenarioResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 {
+		t.Fatalf("%d points, want 1", len(res.Points))
+	}
+	if !bytes.Equal(legacy, res.Points[0].WhatIf) {
+		t.Fatalf("legacy whatif differs from scenario translation:\n%s\n%s", legacy, res.Points[0].WhatIf)
+	}
+}
+
+// TestBandwidthSweepIsScenarioTranslation: the legacy sweep response is
+// reconstructible byte-for-byte from a bandwidth-axis scenario.
+func TestBandwidthSweepIsScenarioTranslation(t *testing.T) {
+	_, cl := newService(t, 2)
+	ctx := context.Background()
+	bandwidths := []float64{50, 250, 1000}
+	legacy, err := cl.SweepBandwidth(ctx, service.BandwidthSweepRequest{
+		App: "cg", Ranks: 4, Bandwidths: bandwidths,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyJSON, err := json.Marshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scen, err := cl.Scenario(ctx, service.ScenarioRequest{
+		App: "cg", Ranks: 4,
+		Flavors: []string{"overlap-real"},
+		Axes:    []core.Axis{core.BandwidthAxis(bandwidths...)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := &core.WireBandwidthSweep{
+		App:            scen.App,
+		Flavor:         string(scen.Points[0].Flavors[0].Flavor),
+		TraceDigest:    scen.Points[0].Flavors[0].TraceDigest,
+		PlatformDigest: scen.PlatformDigest,
+	}
+	for i, pt := range scen.Points {
+		rebuilt.Points = append(rebuilt.Points, core.WireSweepPoint{
+			BandwidthMBps: bandwidths[i],
+			FinishSec:     pt.Flavors[0].FinishSec,
+		})
+	}
+	rebuiltJSON, err := json.Marshal(rebuilt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(legacyJSON, rebuiltJSON) {
+		t.Fatalf("legacy bandwidth sweep differs from scenario translation:\n%s\n%s", legacyJSON, rebuiltJSON)
+	}
+}
+
+// TestMappingSweepIsScenarioTranslation: the legacy mapping sweep is
+// reconstructible byte-for-byte from a mapping-axis traffic scenario.
+func TestMappingSweepIsScenarioTranslation(t *testing.T) {
+	_, cl := newService(t, 2)
+	ctx := context.Background()
+	legacy, err := cl.SweepMapping(ctx, service.MappingSweepRequest{
+		App: "cg", Ranks: 8,
+		Platform: &service.PlatformSpec{Preset: "marenostrum-4x"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyJSON, err := json.Marshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scen, err := cl.Scenario(ctx, service.ScenarioRequest{
+		App: "cg", Ranks: 8,
+		Platform: &service.PlatformSpec{Preset: "marenostrum-4x"},
+		Flavors:  []string{"base", "overlap-real"},
+		Axes:     []core.Axis{core.MappingAxis("block", "rr")},
+		Output:   "traffic",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := &core.WireMappingSweep{
+		App:            scen.App,
+		Ranks:          scen.Ranks,
+		PlatformDigest: scen.PlatformDigest,
+	}
+	for _, pt := range scen.Points {
+		base, real := pt.Flavors[0], pt.Flavors[1]
+		rebuilt.Points = append(rebuilt.Points, core.WireMappingPoint{
+			Mapping:       pt.Coords[0].Value,
+			BaseFinishSec: base.FinishSec,
+			RealFinishSec: real.FinishSec,
+			SpeedupReal:   metrics.Speedup(base.FinishSec, real.FinishSec),
+			IntraBytes:    base.Traffic.IntraBytes,
+			InterBytes:    base.Traffic.InterBytes,
+		})
+	}
+	rebuiltJSON, err := json.Marshal(rebuilt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(legacyJSON, rebuiltJSON) {
+		t.Fatalf("legacy mapping sweep differs from scenario translation:\n%s\n%s", legacyJSON, rebuiltJSON)
+	}
+}
+
+// TestScenarioTraceWorkload runs a scenario over an uploaded trace and
+// checks it matches the legacy trace-mode sweep, that the compiled
+// program lands in the digest-keyed cache, and that deleting the trace
+// drops the program (the store-eviction tie-in, via the HTTP surface).
+func TestScenarioTraceWorkload(t *testing.T) {
+	mgr, cl := newService(t, 2)
+	ctx := context.Background()
+	entry, _ := apps.ByName("cg", 4)
+	run, err := tracer.Trace("cg", 4, tracer.DefaultConfig(), entry.App.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := cl.UploadTrace(ctx, run.BaseTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bandwidths := []float64{50, 250, 1000}
+	legacy, err := cl.SweepBandwidth(ctx, service.BandwidthSweepRequest{
+		Trace: info.Digest, Bandwidths: bandwidths,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scen, err := cl.Scenario(ctx, service.ScenarioRequest{
+		Trace: info.Digest,
+		Axes:  []core.Axis{core.BandwidthAxis(bandwidths...)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scen.TraceDigest != info.Digest || scen.App != "cg" {
+		t.Fatalf("scenario workload %+v", scen)
+	}
+	for i, pt := range scen.Points {
+		if pt.Flavors[0].FinishSec != legacy.Points[i].FinishSec {
+			t.Fatalf("point %d: scenario %g, legacy %g", i, pt.Flavors[0].FinishSec, legacy.Points[i].FinishSec)
+		}
+	}
+	if !mgr.CompiledProgramCached(info.Digest) {
+		t.Fatal("stored-trace scenario did not populate the program cache")
+	}
+	// Deleting the trace drops its compiled program too.
+	if err := cl.DeleteTrace(ctx, info.Digest); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.CompiledProgramCached(info.Digest) {
+		t.Fatal("deleted trace's compiled program still cached")
+	}
+	if err := cl.DeleteTrace(ctx, info.Digest); err == nil {
+		t.Fatal("deleting an unknown trace succeeded")
+	}
+}
+
+// TestScenarioRequestValidation rejects malformed scenario specs without
+// touching the engine.
+func TestScenarioRequestValidation(t *testing.T) {
+	mgr, cl := newService(t, 1)
+	ctx := context.Background()
+	before := mgr.Engine().Stats()
+	big := make([]int, 40)
+	for i := range big {
+		big[i] = i + 1
+	}
+	wide := make([]int, 30)
+	for i := range wide {
+		wide[i] = i + 1
+	}
+	cases := []service.ScenarioRequest{
+		{}, // no workload
+		{App: "cg", Ranks: 4, Trace: "sha256:" + strings.Repeat("0", 64)}, // both workloads
+		{App: "nonesuch", Ranks: 4},
+		{App: "cg", Ranks: 4, Output: "everything"},
+		{App: "cg", Ranks: 4, Flavors: []string{"quantum"}},
+		{App: "cg", Ranks: 4, Axes: []core.Axis{{Kind: core.AxisBandwidth}}},                       // empty axis
+		{App: "cg", Ranks: 4, Axes: []core.Axis{core.ChunksAxis(big...), core.BusesAxis(wide...)}}, // 1200-point grid
+		{App: "cg", Ranks: 4, Axes: []core.Axis{core.RanksAxis(4096)}},                             // over maxRanks
+		{Trace: "sha256:" + strings.Repeat("0", 64)},                                               // unknown trace
+	}
+	for i, req := range cases {
+		if _, err := cl.Scenario(ctx, req); err == nil {
+			t.Errorf("case %d (%+v) accepted", i, req)
+		}
+	}
+	if after := mgr.Engine().Stats(); after.Started != before.Started {
+		t.Fatalf("invalid scenarios spawned engine jobs: %d -> %d", before.Started, after.Started)
+	}
+}

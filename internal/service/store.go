@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"container/list"
 	"errors"
 	"fmt"
 	"os"
@@ -29,17 +30,32 @@ var ErrStoreFull = errors.New("service: artifact store full")
 
 // Store is the content-addressed artifact store of the service: traces and
 // platforms are stored and retrieved by digest ("sha256:..."). The memory
-// tier is authoritative for the running process; the optional disk tier
-// (Dir != "") persists artifacts across restarts and is consulted on
-// memory misses. Because names are content addresses, disk entries are
-// verified against their digest on load — a corrupted file is reported,
-// never served.
+// tier is authoritative for memory-only stores (Dir == ""); with a disk
+// tier it is an LRU cache over the disk copies — at capacity the least
+// recently used trace is evicted from memory (the disk copy still serves
+// it) instead of refusing the put. Every departure from the memory tier,
+// eviction or explicit delete, fires the OnTraceEvict hook so dependent
+// caches (the manager's compiled-program cache) drop their entries
+// instead of pinning them forever. Because names are content addresses,
+// disk entries are verified against their digest on load — a corrupted
+// file is reported, never served.
 type Store struct {
 	dir string
 
-	mu        sync.Mutex
-	traces    map[string]*trace.Trace
-	platforms map[string]network.Platform
+	mu         sync.Mutex
+	traces     map[string]*list.Element // digest → traceOrder element
+	traceOrder *list.List               // front = most recently used
+	platforms  map[string]network.Platform
+	// capTraces bounds the trace memory tier (maxStoredTraces; tests
+	// lower it to exercise eviction).
+	capTraces    int
+	onTraceEvict func(digest string)
+}
+
+// storedTrace is one memory-tier entry.
+type storedTrace struct {
+	digest string
+	tr     *trace.Trace
 }
 
 // NewStore returns a store with a memory tier and, when dir is non-empty,
@@ -51,10 +67,67 @@ func NewStore(dir string) (*Store, error) {
 		}
 	}
 	return &Store{
-		dir:       dir,
-		traces:    make(map[string]*trace.Trace),
-		platforms: make(map[string]network.Platform),
+		dir:        dir,
+		traces:     make(map[string]*list.Element),
+		traceOrder: list.New(),
+		platforms:  make(map[string]network.Platform),
+		capTraces:  maxStoredTraces,
 	}, nil
+}
+
+// OnTraceEvict registers the hook fired (outside the store's lock, once
+// per digest) whenever a trace leaves the memory tier — by LRU eviction
+// or DeleteTrace. One hook; the owning manager registers it at
+// construction, so a store should not be shared between managers.
+func (s *Store) OnTraceEvict(fn func(digest string)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onTraceEvict = fn
+}
+
+// insertTraceLocked adds a trace to the memory tier, evicting the least
+// recently used entries beyond capacity when a disk tier backs them.
+// It returns the evicted digests; the caller fires the hook after
+// unlocking. With no disk tier the memory tier is authoritative and a
+// full tier is the caller's error.
+func (s *Store) insertTraceLocked(digest string, t *trace.Trace) (evicted []string, err error) {
+	if _, seen := s.traces[digest]; seen {
+		return nil, nil
+	}
+	if len(s.traces) >= s.capTraces {
+		if s.dir == "" {
+			return nil, fmt.Errorf("%w: %d traces", ErrStoreFull, s.capTraces)
+		}
+		for len(s.traces) >= s.capTraces {
+			last := s.traceOrder.Back()
+			if last == nil {
+				break
+			}
+			old := last.Value.(*storedTrace)
+			s.traceOrder.Remove(last)
+			delete(s.traces, old.digest)
+			evicted = append(evicted, old.digest)
+		}
+	}
+	s.traces[digest] = s.traceOrder.PushFront(&storedTrace{digest: digest, tr: t})
+	return evicted, nil
+}
+
+// fireEvictions invokes the eviction hook for each digest; call without
+// the lock held.
+func (s *Store) fireEvictions(digests []string) {
+	if len(digests) == 0 {
+		return
+	}
+	s.mu.Lock()
+	fn := s.onTraceEvict
+	s.mu.Unlock()
+	if fn == nil {
+		return
+	}
+	for _, d := range digests {
+		fn(d)
+	}
 }
 
 // tracePath and platformPath name the disk-tier files. The "sha256:"
@@ -85,9 +158,9 @@ func (s *Store) PutTrace(t *trace.Trace) (string, error) {
 		s.mu.Unlock()
 		return digest, nil
 	}
-	if len(s.traces) >= maxStoredTraces {
+	if s.dir == "" && len(s.traces) >= s.capTraces {
 		s.mu.Unlock()
-		return "", fmt.Errorf("%w: %d traces", ErrStoreFull, maxStoredTraces)
+		return "", fmt.Errorf("%w: %d traces", ErrStoreFull, s.capTraces)
 	}
 	s.mu.Unlock()
 	if s.dir != "" {
@@ -100,28 +173,30 @@ func (s *Store) PutTrace(t *trace.Trace) (string, error) {
 		}
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, seen := s.traces[digest]; !seen {
-		if len(s.traces) >= maxStoredTraces {
-			return "", fmt.Errorf("%w: %d traces", ErrStoreFull, maxStoredTraces)
-		}
-		s.traces[digest] = t
+	evicted, err := s.insertTraceLocked(digest, t)
+	s.mu.Unlock()
+	if err != nil {
+		return "", err
 	}
+	s.fireEvictions(evicted)
 	return digest, nil
 }
 
 // GetTrace resolves a digest to its trace, trying memory then disk. A disk
-// hit is re-verified against the digest and promoted to memory.
+// hit is re-verified against the digest and promoted to memory (evicting
+// the least recently used entry when at capacity).
 func (s *Store) GetTrace(digest string) (*trace.Trace, error) {
 	if !trace.ValidDigest(digest) {
 		return nil, fmt.Errorf("service: malformed trace digest %q", digest)
 	}
 	s.mu.Lock()
-	t, ok := s.traces[digest]
-	s.mu.Unlock()
-	if ok {
+	if el, ok := s.traces[digest]; ok {
+		s.traceOrder.MoveToFront(el)
+		t := el.Value.(*storedTrace).tr
+		s.mu.Unlock()
 		return t, nil
 	}
+	s.mu.Unlock()
 	if s.dir == "" {
 		return nil, fmt.Errorf("service: unknown trace %s", digest)
 	}
@@ -130,7 +205,7 @@ func (s *Store) GetTrace(digest string) (*trace.Trace, error) {
 		return nil, fmt.Errorf("service: unknown trace %s", digest)
 	}
 	defer f.Close()
-	t, err = trace.ReadBinary(f)
+	t, err := trace.ReadBinary(f)
 	if err != nil {
 		return nil, fmt.Errorf("service: disk trace %s: %w", digest, err)
 	}
@@ -141,14 +216,55 @@ func (s *Store) GetTrace(digest string) (*trace.Trace, error) {
 	if got != digest {
 		return nil, fmt.Errorf("service: disk trace %s corrupted (content digests %s)", digest, got)
 	}
-	// Promote to the memory tier only while under the cap; a full tier
-	// still serves the disk copy, it just stays cold.
 	s.mu.Lock()
-	if len(s.traces) < maxStoredTraces {
-		s.traces[digest] = t
+	var evicted []string
+	// Re-check the disk file under the lock before promoting: a
+	// concurrent DeleteTrace unlinks the file before it clears the
+	// memory tier, so either the file is still present here (and a
+	// delete that follows will also clear this entry), or it is gone and
+	// skipping the promotion keeps a deleted trace from resurrecting
+	// through the open file descriptor we just read it from.
+	if _, statErr := os.Stat(s.tracePath(digest)); statErr == nil {
+		evicted, _ = s.insertTraceLocked(digest, t) // disk-backed: never errors
 	}
 	s.mu.Unlock()
+	s.fireEvictions(evicted)
 	return t, nil
+}
+
+// DeleteTrace removes a trace from the store — disk tier first, then the
+// memory tier — firing the eviction hook so dependent caches drop the
+// digest. It reports whether the digest was present in either tier. The
+// hook fires for disk-only traces too: a compiled program may exist for
+// a trace the memory tier already let go. The disk copy is unlinked
+// before the memory entry is cleared, and GetTrace's promotion re-checks
+// the file under the lock, so a concurrent read either linearizes before
+// the delete or misses — it cannot resurrect the trace into a memory
+// tier whose disk backing is gone.
+func (s *Store) DeleteTrace(digest string) (bool, error) {
+	if !trace.ValidDigest(digest) {
+		return false, fmt.Errorf("service: malformed trace digest %q", digest)
+	}
+	onDisk := false
+	if s.dir != "" {
+		switch err := os.Remove(s.tracePath(digest)); {
+		case err == nil:
+			onDisk = true
+		case !os.IsNotExist(err):
+			return false, fmt.Errorf("service: delete trace %s: %w", digest, err)
+		}
+	}
+	s.mu.Lock()
+	el, inMemory := s.traces[digest]
+	if inMemory {
+		s.traceOrder.Remove(el)
+		delete(s.traces, digest)
+	}
+	s.mu.Unlock()
+	if inMemory || onDisk {
+		s.fireEvictions([]string{digest})
+	}
+	return inMemory || onDisk, nil
 }
 
 // PutPlatform stores a validated platform and returns its digest, with
@@ -228,17 +344,68 @@ func (s *Store) GetPlatform(digest string) (network.Platform, error) {
 	return p, nil
 }
 
-// TraceDigests lists the digests of every trace in the memory tier,
-// sorted.
-func (s *Store) TraceDigests() []string {
+// SetTraceCapacity lowers the memory-tier trace capacity; tests use it
+// to exercise eviction without a thousand puts. Panics on non-positive
+// capacities.
+func (s *Store) SetTraceCapacity(n int) {
+	if n <= 0 {
+		panic("service: trace capacity must be positive")
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.traces))
+	s.capTraces = n
+}
+
+// TraceDigests lists the digests of every stored trace, sorted — the
+// union of the memory tier and (when configured) the disk tier, so a
+// trace the LRU evicted to disk still appears in GET /v1/traces even
+// though it left memory.
+func (s *Store) TraceDigests() []string {
+	seen := map[string]bool{}
+	s.mu.Lock()
 	for d := range s.traces {
+		seen[d] = true
+	}
+	s.mu.Unlock()
+	if s.dir != "" {
+		if names, err := filepath.Glob(filepath.Join(s.dir, "sha256-*.dimbin")); err == nil {
+			for _, name := range names {
+				base := strings.TrimSuffix(filepath.Base(name), ".dimbin")
+				digest := strings.Replace(base, "sha256-", "sha256:", 1)
+				if trace.ValidDigest(digest) {
+					seen[digest] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for d := range seen {
 		out = append(out, d)
 	}
 	sort.Strings(out)
 	return out
+}
+
+// HasTrace reports whether the digest is resident in the memory tier.
+func (s *Store) HasTrace(digest string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.traces[digest]
+	return ok
+}
+
+// ContainsTrace reports whether the digest lives in either tier —
+// memory, or (when configured) the disk tier. Dependent caches use it to
+// re-validate entries installed concurrently with a delete.
+func (s *Store) ContainsTrace(digest string) bool {
+	if s.HasTrace(digest) {
+		return true
+	}
+	if s.dir == "" {
+		return false
+	}
+	_, err := os.Stat(s.tracePath(digest))
+	return err == nil
 }
 
 // Counts reports how many traces and platforms the memory tier holds.

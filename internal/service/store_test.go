@@ -1,6 +1,7 @@
 package service
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -126,6 +127,95 @@ func TestStoreDetectsCorruption(t *testing.T) {
 	}
 	if _, err := s2.GetTrace(td); err == nil || !strings.Contains(err.Error(), "corrupted") {
 		t.Fatalf("corruption not detected: %v", err)
+	}
+}
+
+// traceWithInstr builds distinct tiny traces (distinct digests).
+func traceWithInstr(instr int64) *trace.Trace {
+	t := trace.New("evict-test", "base", 2)
+	t.Append(0, trace.Record{Kind: trace.KindCompute, Instr: instr})
+	t.Append(0, trace.Record{Kind: trace.KindSend, Peer: 1, Tag: 1, Bytes: 800, MsgID: 1})
+	t.Append(1, trace.Record{Kind: trace.KindRecv, Peer: 0, Tag: 1, Bytes: 800, MsgID: 1})
+	t.Append(1, trace.Record{Kind: trace.KindCompute, Instr: 500})
+	return t
+}
+
+// TestStoreEvictionDropsCompiledPrograms is the ROADMAP bugfix: the
+// manager's digest-keyed program cache must follow the store. With a
+// disk tier the memory tier evicts LRU at capacity, and each eviction —
+// as well as an explicit delete — must drop the digest's compiled
+// program instead of pinning it forever.
+func TestStoreEvictionDropsCompiledPrograms(t *testing.T) {
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetTraceCapacity(2)
+	mgr, err := NewManager(Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var digests []string
+	for i := 0; i < 3; i++ {
+		tr := traceWithInstr(int64(1000 + i))
+		d, err := store.PutTrace(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 2 {
+			// Compile the first two as a stored-trace scenario would.
+			if _, err := mgr.compiledTrace(d, tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		digests = append(digests, d)
+	}
+	// Capacity 2: the third put evicted the least recently used entry
+	// (the first trace), and its program must be gone with it.
+	if store.HasTrace(digests[0]) {
+		t.Fatal("first trace still resident past capacity")
+	}
+	if mgr.CompiledProgramCached(digests[0]) {
+		t.Fatal("evicted trace's compiled program still cached")
+	}
+	if !mgr.CompiledProgramCached(digests[1]) {
+		t.Fatal("resident trace's compiled program dropped")
+	}
+	// The evicted trace still serves from disk — and promotes back in,
+	// evicting another entry whose program follows it out.
+	if _, err := store.GetTrace(digests[0]); err != nil {
+		t.Fatalf("disk tier lost the evicted trace: %v", err)
+	}
+	if mgr.CompiledProgramCached(digests[1]) {
+		t.Fatal("second trace evicted by promotion but program kept")
+	}
+	// Explicit deletion fires the hook too.
+	tr2, err := store.GetTrace(digests[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.compiledTrace(digests[2], tr2); err != nil {
+		t.Fatal(err)
+	}
+	found, err := store.DeleteTrace(digests[2])
+	if err != nil || !found {
+		t.Fatalf("delete: found=%v err=%v", found, err)
+	}
+	if mgr.CompiledProgramCached(digests[2]) {
+		t.Fatal("deleted trace's compiled program still cached")
+	}
+	// A memory-only store stays authoritative: at capacity it refuses the
+	// put instead of silently dropping data.
+	memOnly, err := NewStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	memOnly.SetTraceCapacity(1)
+	if _, err := memOnly.PutTrace(traceWithInstr(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := memOnly.PutTrace(traceWithInstr(2)); !errors.Is(err, ErrStoreFull) {
+		t.Fatalf("memory-only store over capacity: err %v, want ErrStoreFull", err)
 	}
 }
 
