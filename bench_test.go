@@ -608,3 +608,74 @@ func BenchmarkPatternAnalysis(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkScenarioStream measures the scenario pipeline's two faces on
+// one replayed-trace grid: the batch collector (materialize the full
+// ScenarioResult) and the streaming planner (points delivered to a yield
+// as they finish, in order). points_per_sec is grid throughput; run with
+// -benchmem — the B/op gap between the sub-benchmarks is what batch
+// materialization costs over streaming on the same grid.
+func BenchmarkScenarioStream(b *testing.B) {
+	tr := ringTrace(16, 40, 1000, 64<<10)
+	plat, err := network.PlatformPreset("marenostrum-4x", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bws := make([]float64, 24)
+	for i := range bws {
+		bws[i] = 50 * float64(i+1)
+	}
+	spec := core.Scenario{
+		Trace:    tr,
+		Platform: plat,
+		Axes:     []core.Axis{core.BandwidthAxis(bws...)},
+		Output:   core.OutputFinish,
+	}
+	points := spec.GridSize()
+	ctx := context.Background()
+	eng := engine.New(0)
+
+	// Cross-check once: the batch result is exactly the streamed points.
+	batch, err := core.RunScenario(ctx, eng, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var streamed []core.ScenarioPoint
+	if _, err := core.RunScenarioStream(ctx, eng, spec, func(pt core.ScenarioPoint) error {
+		streamed = append(streamed, pt)
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if !reflect.DeepEqual(batch.Points, streamed) {
+		b.Fatal("stream diverged from batch")
+	}
+
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.RunScenario(ctx, eng, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(points)*float64(b.N)/b.Elapsed().Seconds(), "points_per_sec")
+		b.ReportMetric(float64(points), "points")
+	})
+	b.Run("stream", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			if _, err := core.RunScenarioStream(ctx, eng, spec, func(core.ScenarioPoint) error {
+				n++
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if n != points {
+				b.Fatalf("%d points, want %d", n, points)
+			}
+		}
+		b.ReportMetric(float64(points)*float64(b.N)/b.Elapsed().Seconds(), "points_per_sec")
+		b.ReportMetric(float64(points), "points")
+	})
+}

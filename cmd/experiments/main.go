@@ -59,15 +59,19 @@ func main() {
 	flag.Parse()
 
 	if *scenarioPath != "" {
-		res, raw, err := service.RunScenarioFile(context.Background(), *scenarioPath, engine.New(*workers), nil)
-		if err != nil {
-			fatal("%v", err)
-		}
 		if *scenarioJSON {
+			_, raw, err := service.RunScenarioFile(context.Background(), *scenarioPath, engine.New(*workers), nil)
+			if err != nil {
+				fatal("%v", err)
+			}
 			os.Stdout.Write(raw)
 			fmt.Println()
-		} else {
-			fmt.Print(res.Format())
+			return
+		}
+		// The table prints incrementally: each grid point appears the
+		// moment it (and its predecessors) finish simulating.
+		if err := service.StreamScenarioFile(context.Background(), *scenarioPath, engine.New(*workers), nil, os.Stdout); err != nil {
+			fatal("%v", err)
 		}
 		return
 	}

@@ -11,6 +11,8 @@
 //	curl localhost:8080/healthz
 //	curl -X POST localhost:8080/v1/analyze -d '{"app":"cg","ranks":16}'
 //	curl -X POST localhost:8080/v1/whatif -d '{"app":"sweep3d","ranks":16}'
+//	curl -N -H 'Accept: application/x-ndjson' -X POST \
+//	  localhost:8080/v1/scenarios -d '{"app":"cg","ranks":16,"output":"finish"}'
 //	curl 'localhost:8080/v1/jobs'
 //
 // See the README's "Running as a service" section for the full API.
@@ -36,9 +38,12 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
 	cacheEntries := flag.Int("cache", service.DefaultCacheEntries, "result cache capacity in entries (0 or negative disables)")
+	queueDepth := flag.Int("queue", service.DefaultQueueDepth, "admission queue bound: jobs beyond it are rejected with 429 (0 or negative = unbounded)")
+	pointCache := flag.Int("point-cache", service.DefaultPointCacheEntries, "point-level scenario cache capacity — overlapping grids resume each other (0 or negative disables)")
 	storeDir := flag.String("store-dir", "", "disk tier for the content-addressed artifact store (empty = memory only)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling; leave off in untrusted networks)")
-	scenarioPath := flag.String("scenario", "", "one-shot mode: run a scenario spec (JSON, the POST /v1/scenarios schema) against -store-dir, print the result JSON, and exit without serving")
+	scenarioPath := flag.String("scenario", "", "one-shot mode: run a scenario spec (JSON, the POST /v1/scenarios schema) against -store-dir, stream the point table, and exit without serving")
+	scenarioJSON := flag.Bool("scenario-json", false, "with -scenario, print the raw result JSON instead of the streamed point table")
 	flag.Parse()
 
 	store, err := service.NewStore(*storeDir)
@@ -48,27 +53,46 @@ func main() {
 	}
 	if *scenarioPath != "" {
 		// One-shot: the same spec POST /v1/scenarios accepts, executed on
-		// this process's store and engine, result JSON on stdout.
-		_, raw, err := service.RunScenarioFile(context.Background(), *scenarioPath, engine.New(*workers), store)
-		if err != nil {
+		// this process's store and engine. The default table streams —
+		// each point prints as it finishes; -scenario-json prints the
+		// batch JSON instead.
+		if *scenarioJSON {
+			_, raw, err := service.RunScenarioFile(context.Background(), *scenarioPath, engine.New(*workers), store)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(raw)
+			fmt.Println()
+			return
+		}
+		if err := service.StreamScenarioFile(context.Background(), *scenarioPath, engine.New(*workers), store, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "simd: %v\n", err)
 			os.Exit(1)
 		}
-		os.Stdout.Write(raw)
-		fmt.Println()
 		return
 	}
-	// The flag's 0 means "no caching"; Options reserves 0 for "default"
-	// so the zero value stays usable as a library.
+	// The flags' 0 means "disabled"/"unbounded"; Options reserves 0 for
+	// "default" so the zero value stays usable as a library.
 	entries := *cacheEntries
 	if entries <= 0 {
 		entries = -1
 	}
+	queue := *queueDepth
+	if queue <= 0 {
+		queue = -1
+	}
+	points := *pointCache
+	if points <= 0 {
+		points = -1
+	}
 	eng := engine.New(*workers)
 	mgr, err := service.NewManager(service.Options{
-		Engine:       eng,
-		Store:        store,
-		CacheEntries: entries,
+		Engine:            eng,
+		Store:             store,
+		CacheEntries:      entries,
+		QueueDepth:        queue,
+		PointCacheEntries: points,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simd: %v\n", err)

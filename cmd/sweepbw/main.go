@@ -46,16 +46,21 @@ func main() {
 	flag.Parse()
 
 	if *scenarioPath != "" {
-		res, raw, err := service.RunScenarioFile(context.Background(), *scenarioPath, engine.New(*workers), nil)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweepbw: %v\n", err)
-			os.Exit(1)
-		}
 		if *scenarioJSON {
+			_, raw, err := service.RunScenarioFile(context.Background(), *scenarioPath, engine.New(*workers), nil)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sweepbw: %v\n", err)
+				os.Exit(1)
+			}
 			os.Stdout.Write(raw)
 			fmt.Println()
-		} else {
-			fmt.Print(res.Format())
+			return
+		}
+		// The table prints incrementally: each grid point appears the
+		// moment it (and its predecessors) finish simulating.
+		if err := service.StreamScenarioFile(context.Background(), *scenarioPath, engine.New(*workers), nil, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "sweepbw: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

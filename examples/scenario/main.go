@@ -30,6 +30,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/apps"
 	"repro/internal/core"
@@ -45,7 +46,7 @@ func main() {
 	}
 	fmt.Printf("platform: %s\n\n", platform.Describe())
 
-	res, err := core.RunScenario(context.Background(), nil, core.Scenario{
+	spec := core.Scenario{
 		App:      entry.App,
 		Ranks:    ranks,
 		Platform: platform,
@@ -55,17 +56,33 @@ func main() {
 			core.MappingAxis("block", "rr"),
 		},
 		Output: core.OutputTraffic,
-	})
+	}
+
+	// Results stream: the planner yields grid points in deterministic
+	// row-major order as simulations finish, and the printer renders each
+	// row the moment it arrives — same bytes a batch RunScenario +
+	// Format() would print, without materializing the grid first.
+	hdr, err := spec.Header()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(res.Format())
-	fmt.Printf("\nspec digest %s — the same spec POSTed to /v1/scenarios is cached under this key.\n", res.SpecDigest)
+	printer, err := core.NewScenarioPrinter(os.Stdout, hdr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var points []core.ScenarioPoint
+	if _, err := core.RunScenarioStream(context.Background(), nil, spec, func(pt core.ScenarioPoint) error {
+		points = append(points, pt)
+		return printer.Point(pt)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nspec digest %s — the same spec POSTed to /v1/scenarios is cached under this key.\n", hdr.SpecDigest)
 
 	// Read the conclusion out of the flat table: per mapping, how much
 	// does 8x bandwidth buy the non-overlapped execution?
 	finish := map[string]map[string]float64{} // mapping → bandwidth → base finish
-	for _, pt := range res.Points {
+	for _, pt := range points {
 		bw, mp := pt.Coords[0].Value, pt.Coords[1].Value
 		if finish[mp] == nil {
 			finish[mp] = map[string]float64{}

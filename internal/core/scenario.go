@@ -63,6 +63,12 @@ type Axis struct {
 	Values   []float64 `json:"values,omitempty"`
 	Counts   []int     `json:"counts,omitempty"`
 	Mappings []string  `json:"mappings,omitempty"`
+	// Zip names an advance-together group: axes sharing a Zip label
+	// contribute one grid dimension whose i-th point sets the i-th value
+	// of every member (bandwidth[i] paired with latency[i]), instead of
+	// entering the cross product independently. Member axes must have
+	// equal lengths. Empty means the axis sweeps on its own.
+	Zip string `json:"zip,omitempty"`
 }
 
 // BandwidthAxis sweeps the inter-node bandwidth (MB/s).
@@ -239,6 +245,26 @@ type Scenario struct {
 	// kernel invariant of the cache holds (the apps registry maintains
 	// it; ad-hoc kernels should not share a cache).
 	Traces *engine.TraceCache
+
+	// PointCache, when set, is consulted per grid point before any
+	// simulation is scheduled and fed every freshly computed point: the
+	// partial-grid resume hook. Keys are per-point spec digests
+	// (ScenarioPoint.Digest), so a spec whose grid overlaps an earlier
+	// run's reuses those points and simulates only the gap. Like Traces,
+	// it is an execution hook, not part of the spec's identity — it never
+	// enters the canonical digest.
+	PointCache PointCache
+}
+
+// PointCache is the point-level resume store RunScenarioStream consults
+// and populates. Implementations must be safe for concurrent use and
+// treat stored points as immutable.
+type PointCache interface {
+	// GetPoint returns the completed point stored under a per-point spec
+	// digest.
+	GetPoint(digest string) (ScenarioPoint, bool)
+	// PutPoint stores a completed point under its digest.
+	PutPoint(digest string, pt ScenarioPoint)
 }
 
 // normalized returns a validated copy with defaults applied.
@@ -325,15 +351,84 @@ func (s Scenario) normalized() (Scenario, error) {
 			return s, fmt.Errorf("core: %q axis needs a traced application, not a stored trace", ax.Kind)
 		}
 	}
+	// Zip groups advance together, so every member must offer the same
+	// number of points.
+	zipLen := map[string]int{}
+	zipMembers := map[string]int{}
+	for _, ax := range s.Axes {
+		if ax.Zip == "" {
+			continue
+		}
+		if n, ok := zipLen[ax.Zip]; ok && n != ax.Len() {
+			return s, fmt.Errorf("core: zip group %q mixes axis lengths %d and %d", ax.Zip, n, ax.Len())
+		}
+		zipLen[ax.Zip] = ax.Len()
+		zipMembers[ax.Zip]++
+	}
+	// Canonicalize away zips that don't constrain the grid: a group with
+	// one member, or whose axes hold a single point each, expands exactly
+	// like the plain cross product, so both spellings must digest — and
+	// execute — identically. Clearing happens on a copied slice; the
+	// caller's spec is never mutated.
+	clear := func(ax Axis) bool {
+		return ax.Zip != "" && (zipMembers[ax.Zip] == 1 || ax.Len() == 1)
+	}
+	for _, ax := range s.Axes {
+		if clear(ax) {
+			axes := make([]Axis, len(s.Axes))
+			copy(axes, s.Axes)
+			for i := range axes {
+				if clear(axes[i]) {
+					axes[i].Zip = ""
+				}
+			}
+			s.Axes = axes
+			break
+		}
+	}
 	return s, nil
 }
 
+// axisGroups partitions axis indices into grid dimensions: zipped axes
+// share one group (ordered by their first member's spec position),
+// every other axis is its own group.
+func (s Scenario) axisGroups() [][]int {
+	groups := make([][]int, 0, len(s.Axes))
+	byZip := map[string]int{}
+	for i, ax := range s.Axes {
+		if ax.Zip == "" {
+			groups = append(groups, []int{i})
+			continue
+		}
+		if g, ok := byZip[ax.Zip]; ok {
+			groups[g] = append(groups[g], i)
+		} else {
+			byZip[ax.Zip] = len(groups)
+			groups = append(groups, []int{i})
+		}
+	}
+	return groups
+}
+
+// groupLen returns the point count of one axis group (the shortest
+// member, though validation makes them equal).
+func (s Scenario) groupLen(group []int) int {
+	n := s.Axes[group[0]].Len()
+	for _, i := range group[1:] {
+		if l := s.Axes[i].Len(); l < n {
+			n = l
+		}
+	}
+	return n
+}
+
 // GridSize returns the number of grid points the axes expand to (1 with
-// no axes; 0 if any axis is empty). The spec is not validated.
+// no axes; 0 if any axis is empty): the product over axis groups, a zip
+// group counting once. The spec is not validated.
 func (s Scenario) GridSize() int {
 	n := 1
-	for _, ax := range s.Axes {
-		n *= ax.Len()
+	for _, g := range s.axisGroups() {
+		n *= s.groupLen(g)
 	}
 	return n
 }
@@ -342,6 +437,7 @@ func (s Scenario) GridSize() int {
 type canonicalAxis struct {
 	Kind   AxisKind `json:"kind"`
 	Points []string `json:"points"`
+	Zip    string   `json:"zip,omitempty"`
 }
 
 // canonicalScenario is what a scenario digests through: every field that
@@ -360,6 +456,36 @@ type canonicalScenario struct {
 	Output      OutputKind      `json:"output"`
 }
 
+// canonicalBase builds the canonical form of an already-normalized spec
+// with Axes left empty — the shared trunk of the spec digest (full axes
+// grafted on) and the per-point digests (one pinned value per axis).
+func (s *Scenario) canonicalBase() (canonicalScenario, error) {
+	platJSON, err := s.Platform.CanonicalJSON()
+	if err != nil {
+		return canonicalScenario{}, err
+	}
+	c := canonicalScenario{
+		Platform: platJSON,
+		Flavors:  s.Flavors,
+		Output:   s.Output,
+	}
+	if s.Trace != nil {
+		c.TraceDigest = s.TraceDigest // pinned by normalized()
+	} else {
+		c.App = s.App.Name
+		if s.Factory != nil {
+			app, err := s.Factory(s.Ranks)
+			if err != nil {
+				return canonicalScenario{}, err
+			}
+			c.App = app.Name
+		}
+		c.Ranks = s.Ranks
+		c.Tracer = &s.Tracer
+	}
+	return c, nil
+}
+
 // CanonicalJSON returns the canonical serialized form of the scenario:
 // compact JSON with a fixed field order, the platform canonicalized, the
 // workload content-addressed, and axis points in canonical spellings.
@@ -370,36 +496,17 @@ func (s Scenario) CanonicalJSON() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	platJSON, err := norm.Platform.CanonicalJSON()
+	c, err := norm.canonicalBase()
 	if err != nil {
 		return nil, err
 	}
-	c := canonicalScenario{
-		Platform: platJSON,
-		Flavors:  norm.Flavors,
-		Axes:     make([]canonicalAxis, 0, len(norm.Axes)),
-		Output:   norm.Output,
-	}
-	if norm.Trace != nil {
-		c.TraceDigest = norm.TraceDigest // pinned by normalized()
-	} else {
-		c.App = norm.App.Name
-		if norm.Factory != nil {
-			app, err := norm.Factory(norm.Ranks)
-			if err != nil {
-				return nil, err
-			}
-			c.App = app.Name
-		}
-		c.Ranks = norm.Ranks
-		c.Tracer = &norm.Tracer
-	}
+	c.Axes = make([]canonicalAxis, 0, len(norm.Axes))
 	for _, ax := range norm.Axes {
 		labels, err := ax.labels()
 		if err != nil {
 			return nil, err
 		}
-		c.Axes = append(c.Axes, canonicalAxis{Kind: ax.Kind, Points: labels})
+		c.Axes = append(c.Axes, canonicalAxis{Kind: ax.Kind, Points: labels, Zip: ax.Zip})
 	}
 	b, err := json.Marshal(c)
 	if err != nil {
@@ -415,8 +522,32 @@ func (s Scenario) Digest() (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return digestBytes(b), nil
+}
+
+func digestBytes(b []byte) string {
 	sum := sha256.Sum256(b)
-	return "sha256:" + hex.EncodeToString(sum[:]), nil
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// pointDigest returns the spec digest of the single-point scenario that
+// pins one grid coordinate: base must be the spec's canonicalBase, and
+// every axis narrows to the point's value on it. It equals
+// Scenario.Digest() of that pinned spec — zip groups collapse away on
+// single-point axes — so overlapping grids submitted as different specs
+// meet at the same point keys, which is what lets a point-level cache
+// resume a partially-computed grid.
+func pointDigest(base canonicalScenario, coords []Coord) (string, error) {
+	axes := make([]canonicalAxis, len(coords))
+	for i, c := range coords {
+		axes[i] = canonicalAxis{Kind: c.Axis, Points: []string{c.Value}}
+	}
+	base.Axes = axes
+	b, err := json.Marshal(base)
+	if err != nil {
+		return "", fmt.Errorf("core: canonicalize scenario point: %w", err)
+	}
+	return digestBytes(b), nil
 }
 
 // Coord names one grid point's position on one axis, in the axis's
@@ -448,6 +579,10 @@ type FlavorMeasure struct {
 // the output selected by the spec.
 type ScenarioPoint struct {
 	Coords []Coord `json:"coords"`
+	// Digest is the spec digest of the single-point scenario pinning this
+	// coordinate — the key the service's point-level cache resumes
+	// overlapping grids through.
+	Digest string `json:"point_digest,omitempty"`
 	// Flavors carries finish/traffic measurements, in spec flavor order.
 	Flavors []FlavorMeasure `json:"flavors,omitempty"`
 	// WhatIf carries the per-buffer ranking (what-if output).
@@ -456,11 +591,12 @@ type ScenarioPoint struct {
 	Report *WireReport `json:"report,omitempty"`
 }
 
-// ScenarioResult is the flat, deterministically ordered result table of
-// one scenario: grid points in row-major spec order (last axis fastest),
-// flavors in spec order within a point. It is also the wire form the
-// service's POST /v1/scenarios serves.
-type ScenarioResult struct {
+// ScenarioHeader is everything a scenario result says besides its
+// points: the resolved workload, the digests, and the grid shape. It is
+// the first frame of the streaming wire protocol, and ScenarioResult
+// embeds it so the batch JSON is the header's fields followed by the
+// point array.
+type ScenarioHeader struct {
 	App   string `json:"app"`
 	Ranks int    `json:"ranks,omitempty"`
 	// TraceDigest is set for trace-mode workloads.
@@ -470,10 +606,69 @@ type ScenarioResult struct {
 	SpecDigest string `json:"spec_digest"`
 	// PlatformDigest content-addresses the base platform (before axis
 	// transforms).
-	PlatformDigest string          `json:"platform_digest"`
-	Output         OutputKind      `json:"output"`
-	Axes           []AxisKind      `json:"axes"`
-	Points         []ScenarioPoint `json:"points"`
+	PlatformDigest string     `json:"platform_digest"`
+	Output         OutputKind `json:"output"`
+	Axes           []AxisKind `json:"axes"`
+	// GridPoints is the expanded grid size — how many points a complete
+	// result (or stream) carries.
+	GridPoints int `json:"grid_points"`
+}
+
+// Header canonicalizes the spec and returns the result header without
+// running anything — what a streaming consumer sees before the first
+// point.
+func (s Scenario) Header() (*ScenarioHeader, error) {
+	sc, err := s.normalized()
+	if err != nil {
+		return nil, err
+	}
+	return sc.header()
+}
+
+// header builds the result header of an already-normalized spec.
+func (s *Scenario) header() (*ScenarioHeader, error) {
+	specDigest, err := s.Digest()
+	if err != nil {
+		return nil, err
+	}
+	platDigest, err := s.Platform.Digest()
+	if err != nil {
+		return nil, err
+	}
+	h := &ScenarioHeader{
+		Ranks:          s.Ranks,
+		SpecDigest:     specDigest,
+		PlatformDigest: platDigest,
+		Output:         s.Output,
+		Axes:           make([]AxisKind, 0, len(s.Axes)),
+		GridPoints:     s.GridSize(),
+	}
+	for _, ax := range s.Axes {
+		h.Axes = append(h.Axes, ax.Kind)
+	}
+	if s.Trace != nil {
+		h.App = s.Trace.Name
+		h.TraceDigest = s.TraceDigest // pinned by normalized()
+	} else {
+		app := s.App
+		if s.Factory != nil {
+			if app, err = s.Factory(s.Ranks); err != nil {
+				return nil, err
+			}
+		}
+		h.App = app.Name
+	}
+	return h, nil
+}
+
+// ScenarioResult is the flat, deterministically ordered result table of
+// one scenario: grid points in row-major spec order (last axis fastest),
+// flavors in spec order within a point. It is also the wire form the
+// service's POST /v1/scenarios serves, and byte-for-byte the
+// concatenation of the streaming protocol's header and point frames.
+type ScenarioResult struct {
+	ScenarioHeader
+	Points []ScenarioPoint `json:"points"`
 }
 
 // gridPoint is one expanded coordinate of the run grid.
@@ -484,10 +679,11 @@ type gridPoint struct {
 	chunks int
 }
 
-// grid expands the axes' cross product into concrete run points,
-// row-major with the last axis fastest. Platform axes transform the base
-// platform; chunks/ranks axes re-parameterize the workload. Each point's
-// platform is validated after all transforms.
+// grid expands the axes into concrete run points, row-major with the
+// last axis group fastest (zipped axes advance together as one group).
+// Platform axes transform the base platform; chunks/ranks axes
+// re-parameterize the workload. Each point's platform is validated
+// after all transforms.
 func (s *Scenario) grid() ([]gridPoint, error) {
 	type axisPoints struct {
 		ax       Axis
@@ -512,15 +708,19 @@ func (s *Scenario) grid() ([]gridPoint, error) {
 			}
 		}
 	}
+	groups := s.axisGroups()
 	total := s.GridSize()
 	pts := make([]gridPoint, 0, total)
 	for i := 0; i < total; i++ {
 		idx := make([]int, len(axes))
 		rem := i
-		for a := len(axes) - 1; a >= 0; a-- {
-			n := axes[a].ax.Len()
-			idx[a] = rem % n
+		for g := len(groups) - 1; g >= 0; g-- {
+			n := s.groupLen(groups[g])
+			k := rem % n
 			rem /= n
+			for _, a := range groups[g] {
+				idx[a] = k
+			}
 		}
 		pt := gridPoint{
 			coords: make([]Coord, len(axes)),
@@ -751,238 +951,22 @@ func (x *scenarioExec) compile(ranks, chunks int, f Flavor) (*sim.Program, strin
 }
 
 // RunScenario is the one planner behind every study: it canonicalizes
-// the spec, expands the axes' cross product into a run grid, executes
-// the points on pooled replayers through the engine (nil selects the
-// default engine), compiling each replayed trace flavor exactly once,
-// and returns the flat result table in deterministic row-major order.
+// the spec, expands the axes into a run grid, executes the points on
+// pooled replayers through the engine (nil selects the default engine),
+// compiling each replayed trace flavor exactly once, and returns the
+// flat result table in deterministic row-major order. It is a thin
+// collector over RunScenarioStream — the batch result is exactly the
+// stream's points, so the two paths cannot drift.
 func RunScenario(ctx context.Context, eng *engine.Engine, spec Scenario) (*ScenarioResult, error) {
-	sc, err := spec.normalized()
+	pts := make([]ScenarioPoint, 0, spec.GridSize())
+	hdr, err := RunScenarioStream(ctx, eng, spec, func(pt ScenarioPoint) error {
+		pts = append(pts, pt)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	specDigest, err := sc.Digest()
-	if err != nil {
-		return nil, err
-	}
-	platDigest, err := sc.Platform.Digest()
-	if err != nil {
-		return nil, err
-	}
-	grid, err := sc.grid()
-	if err != nil {
-		return nil, err
-	}
-	res := &ScenarioResult{
-		Ranks:          sc.Ranks,
-		SpecDigest:     specDigest,
-		PlatformDigest: platDigest,
-		Output:         sc.Output,
-		Axes:           make([]AxisKind, 0, len(sc.Axes)),
-		Points:         make([]ScenarioPoint, 0, len(grid)),
-	}
-	for _, ax := range sc.Axes {
-		res.Axes = append(res.Axes, ax.Kind)
-	}
-	x := newScenarioExec(&sc)
-	if sc.Trace != nil {
-		res.App = sc.Trace.Name
-		res.TraceDigest = sc.TraceDigest // pinned by normalized()
-	} else {
-		app, err := x.appFor(sc.Ranks)
-		if err != nil {
-			return nil, err
-		}
-		res.App = app.Name
-	}
-
-	switch sc.Output {
-	case OutputFinish, OutputTraffic:
-		// Distinct (program, platform) pairs replay once however many
-		// grid points share them: a chunks axis varies only the
-		// overlapped flavors, so the chunk-independent base replays one
-		// time, not once per chunk count. Deduped points reuse the same
-		// measurement — deterministic replays make that byte-identical
-		// to replaying each point independently.
-		nf := len(sc.Flavors)
-		type measureJob struct {
-			pt gridPoint
-			f  Flavor
-		}
-		total := len(grid) * nf
-		jobOf := make([]int, total)
-		var jobs []measureJob
-		seen := map[string]int{}
-		for p, pt := range grid {
-			platJSON, err := pt.plat.CanonicalJSON()
-			if err != nil {
-				return nil, err
-			}
-			for k, f := range sc.Flavors {
-				ranks, chunks := pt.ranks, pt.chunks
-				if sc.Trace != nil {
-					ranks, chunks = 0, 0
-				} else if f == FlavorBase {
-					chunks = sc.Tracer.Chunks // mirrors progFor's normalization
-				}
-				key := fmt.Sprintf("%d|%d|%s|%s", ranks, chunks, f, platJSON)
-				j, ok := seen[key]
-				if !ok {
-					j = len(jobs)
-					seen[key] = j
-					jobs = append(jobs, measureJob{pt: pt, f: f})
-				}
-				jobOf[p*nf+k] = j
-			}
-		}
-		uniq, err := engine.Map(ctx, eng, len(jobs), func(ctx context.Context, j int) (FlavorMeasure, error) {
-			pt, f := jobs[j].pt, jobs[j].f
-			prog, digest, err := x.progFor(pt.ranks, pt.chunks, f)
-			if err != nil {
-				return FlavorMeasure{}, err
-			}
-			sum, err := sim.ReplaySummary(pt.plat, prog)
-			if err != nil {
-				return FlavorMeasure{}, fmt.Errorf("core: scenario point %v %s: %w", pt.coords, f, err)
-			}
-			m := FlavorMeasure{Flavor: f, TraceDigest: digest, FinishSec: sum.FinishSec}
-			if sc.Output == OutputTraffic {
-				m.Traffic = &WireTraffic{
-					IntraBytes: sum.IntraBytes,
-					InterBytes: sum.InterBytes,
-					IntraMsgs:  sum.IntraMsgs,
-					InterMsgs:  sum.InterMsgs,
-				}
-			}
-			return m, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		for p := range grid {
-			ms := make([]FlavorMeasure, nf)
-			for k := 0; k < nf; k++ {
-				ms[k] = uniq[jobOf[p*nf+k]]
-			}
-			res.Points = append(res.Points, ScenarioPoint{Coords: grid[p].coords, Flavors: ms})
-		}
-	case OutputWhatIf:
-		points, err := engine.Map(ctx, eng, len(grid), func(ctx context.Context, i int) (*WireWhatIf, error) {
-			pt := grid[i]
-			run, err := x.runAt(pt)
-			if err != nil {
-				return nil, err
-			}
-			wi, err := WhatIfRunOn(ctx, eng, run, pt.plat)
-			if err != nil {
-				return nil, err
-			}
-			pd, err := pt.plat.Digest()
-			if err != nil {
-				return nil, err
-			}
-			return wi.Wire(pt.ranks, pd), nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		for p := range grid {
-			res.Points = append(res.Points, ScenarioPoint{Coords: grid[p].coords, WhatIf: points[p]})
-		}
-	case OutputReport:
-		points, err := engine.Map(ctx, eng, len(grid), func(ctx context.Context, i int) (*WireReport, error) {
-			pt := grid[i]
-			run, err := x.runAt(pt)
-			if err != nil {
-				return nil, err
-			}
-			rep, err := AnalyzeRunOn(ctx, eng, run, pt.plat)
-			if err != nil {
-				return nil, err
-			}
-			return rep.Wire()
-		})
-		if err != nil {
-			return nil, err
-		}
-		for p := range grid {
-			res.Points = append(res.Points, ScenarioPoint{Coords: grid[p].coords, Report: points[p]})
-		}
-	}
-	return res, nil
-}
-
-// Format renders the result as text: finish/traffic outputs become one
-// point table (a row per grid point and flavor), what-if and report
-// outputs a section per grid point.
-func (r *ScenarioResult) Format() string {
-	out := fmt.Sprintf("scenario %s: %s over %d point(s)\n", r.App, r.Output, len(r.Points))
-	switch r.Output {
-	case OutputFinish, OutputTraffic:
-		cols := make([]TableColumn, 0, len(r.Axes)+6)
-		for i, ax := range r.Axes {
-			w := 14
-			if i == 0 {
-				w = 12
-			}
-			cols = append(cols, TableColumn{Name: string(ax), Width: w})
-		}
-		if len(r.Axes) == 0 {
-			cols = append(cols, TableColumn{Name: "point", Width: 12})
-		}
-		cols = append(cols, TableColumn{Name: "flavor", Width: 14}, TableColumn{Name: "finish (s)", Width: 14})
-		if r.Output == OutputTraffic {
-			cols = append(cols, TableColumn{Name: "intra bytes", Width: 14}, TableColumn{Name: "inter bytes", Width: 14})
-		}
-		rows := make([][]string, 0, len(r.Points))
-		for pi, pt := range r.Points {
-			for _, m := range pt.Flavors {
-				row := make([]string, 0, len(cols))
-				for _, c := range pt.Coords {
-					row = append(row, c.Value)
-				}
-				if len(pt.Coords) == 0 {
-					row = append(row, strconv.Itoa(pi))
-				}
-				row = append(row, string(m.Flavor), fmt.Sprintf("%.6f", m.FinishSec))
-				if r.Output == OutputTraffic && m.Traffic != nil {
-					row = append(row,
-						strconv.FormatInt(m.Traffic.IntraBytes, 10),
-						strconv.FormatInt(m.Traffic.InterBytes, 10))
-				}
-				rows = append(rows, row)
-			}
-		}
-		out += FormatPointTable(cols, rows)
-	case OutputWhatIf:
-		for _, pt := range r.Points {
-			if len(pt.Coords) > 0 {
-				out += fmt.Sprintf("\n-- %s --\n", coordsLabel(pt.Coords))
-			}
-			if pt.WhatIf != nil {
-				w := WhatIfReport{
-					App:           pt.WhatIf.App,
-					BaseFinishSec: pt.WhatIf.BaseFinishSec,
-					RealFinishSec: pt.WhatIf.RealFinishSec,
-					Buffers:       pt.WhatIf.Buffers,
-				}
-				out += w.Format()
-			}
-		}
-	case OutputReport:
-		for _, pt := range r.Points {
-			if len(pt.Coords) > 0 {
-				out += fmt.Sprintf("\n-- %s --\n", coordsLabel(pt.Coords))
-			}
-			if rep := pt.Report; rep != nil {
-				out += fmt.Sprintf("%s on %s\n", rep.App, rep.Platform)
-				for _, f := range rep.Flavors {
-					out += fmt.Sprintf("  %-14s finish %.6f s\n", f.Flavor, f.FinishSec)
-				}
-				out += fmt.Sprintf("  speedup real %.3f, ideal %.3f\n", rep.SpeedupReal, rep.SpeedupIdeal)
-			}
-		}
-	}
-	return out
+	return &ScenarioResult{ScenarioHeader: *hdr, Points: pts}, nil
 }
 
 // coordsLabel joins a point's coordinates into "axis=value" pairs.

@@ -18,35 +18,46 @@ type TableColumn struct {
 	Width int
 }
 
-// FormatPointTable renders one header line plus a line per row. The
-// first column is left-aligned (the point label), every other column is
-// right-aligned (measurements) — the shared layout of all study tables.
-func FormatPointTable(cols []TableColumn, rows [][]string) string {
+// FormatTableRow renders one line of a point table. The first column is
+// left-aligned (the point label), every other column is right-aligned
+// (measurements) — the shared layout of all study tables.
+func FormatTableRow(cols []TableColumn, cells []string) string {
 	var b strings.Builder
-	line := func(cells []string) {
-		for i, c := range cols {
-			cell := ""
-			if i < len(cells) {
-				cell = cells[i]
-			}
-			if i > 0 {
-				b.WriteByte(' ')
-			}
-			if i == 0 {
-				fmt.Fprintf(&b, "%-*s", c.Width, cell)
-			} else {
-				fmt.Fprintf(&b, "%*s", c.Width, cell)
-			}
+	for i, c := range cols {
+		cell := ""
+		if i < len(cells) {
+			cell = cells[i]
 		}
-		b.WriteByte('\n')
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if i == 0 {
+			fmt.Fprintf(&b, "%-*s", c.Width, cell)
+		} else {
+			fmt.Fprintf(&b, "%*s", c.Width, cell)
+		}
 	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// FormatTableHeader renders the column-name line of a point table.
+func FormatTableHeader(cols []TableColumn) string {
 	headers := make([]string, len(cols))
 	for i, c := range cols {
 		headers[i] = c.Name
 	}
-	line(headers)
+	return FormatTableRow(cols, headers)
+}
+
+// FormatPointTable renders one header line plus a line per row — the
+// batch form of the FormatTableHeader/FormatTableRow pair streaming
+// renderers emit incrementally.
+func FormatPointTable(cols []TableColumn, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString(FormatTableHeader(cols))
 	for _, row := range rows {
-		line(row)
+		b.WriteString(FormatTableRow(cols, row))
 	}
 	return b.String()
 }

@@ -1,0 +1,139 @@
+// Internal tests of admission control: they hold the manager's
+// execution slots directly to force the queue-full condition
+// deterministically, something the public API can't stage without
+// timing games.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// TestSubmitQueueFull: with one execution slot held and a queue depth of
+// one, the first submission queues and the second is rejected with
+// ErrQueueFull; the counters record both sides. Draining the slot lets
+// the queued job run to completion.
+func TestSubmitQueueFull(t *testing.T) {
+	eng := engine.New(1)
+	m, err := NewManager(Options{Engine: eng, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.slots <- struct{}{} // occupy the only slot
+
+	j1, err := m.Submit(AnalyzeRequest{App: "cg", Ranks: 4})
+	if err != nil {
+		t.Fatalf("first submission should queue: %v", err)
+	}
+	if _, err := m.Submit(AnalyzeRequest{App: "cg", Ranks: 8}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("second submission err = %v, want ErrQueueFull", err)
+	}
+	met := m.MetricsSnapshot()
+	if met.QueueDepth != 1 || met.QueueLimit != 1 || met.Rejected != 1 {
+		t.Fatalf("metrics %+v, want depth 1, limit 1, rejected 1", met)
+	}
+
+	<-m.slots // release; the queued job acquires it and runs
+	if _, err := j1.Wait(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if met := m.MetricsSnapshot(); met.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after completion, want 0", met.QueueDepth)
+	}
+}
+
+// TestHTTPQueueFull429 maps the same condition through the HTTP face:
+// both the batch submit path and the streaming scenario path answer 429
+// with Retry-After while the queue is full.
+func TestHTTPQueueFull429(t *testing.T) {
+	eng := engine.New(1)
+	m, err := NewManager(Options{Engine: eng, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	m.slots <- struct{}{}
+
+	post := func(path string, body string, ndjson bool) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, srv.URL+path, bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if ndjson {
+			req.Header.Set("Accept", NDJSONContentType)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	// First job queues (async, so the request returns immediately).
+	resp := post("/v1/analyze?async=1", `{"app":"cg","ranks":4}`, false)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit status %d", resp.StatusCode)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch submission past the bound: 429 + Retry-After.
+	resp = post("/v1/analyze", `{"app":"cg","ranks":8}`, false)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("batch overflow status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// Streaming submission past the bound: same rejection, before any
+	// frame is written.
+	resp = post("/v1/scenarios", `{"app":"cg","ranks":8,"output":"finish"}`, true)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("stream overflow status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("stream 429 without Retry-After")
+	}
+
+	if met := m.MetricsSnapshot(); met.Rejected != 2 {
+		t.Fatalf("rejected %d, want 2", met.Rejected)
+	}
+
+	// Cache hits are never rejected: nothing to queue. (Prime one by
+	// letting the queued job finish first.)
+	<-m.slots
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		j, ok := m.Job(st.ID)
+		if !ok {
+			t.Fatalf("job %s vanished", st.ID)
+		}
+		if j.Finished() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queued job never finished after slot release")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	m.slots <- struct{}{} // refill: the next fresh job would queue again
+	resp = post("/v1/analyze", `{"app":"cg","ranks":4}`, false)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached request status %d, want 200 despite held slot", resp.StatusCode)
+	}
+	<-m.slots
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -95,6 +96,16 @@ func publishMetrics(m *Manager) {
 // The four per-kind POST endpoints are spec translators over the same
 // scenario planner POST /v1/scenarios drives; their request and response
 // formats are unchanged.
+//
+// POST /v1/scenarios additionally streams: with Accept:
+// application/x-ndjson (and without ?async=1, which takes precedence),
+// the response is NDJSON frames — header, one frame per grid point in
+// deterministic order, then done — whose concatenation is byte-identical
+// to the batch JSON body. See stream.go for the frame protocol.
+//
+// All submitting endpoints answer 429 with Retry-After when the
+// manager's admission queue is full; queue depth and rejection counts
+// are visible on /metrics.
 func NewHandler(m *Manager) http.Handler {
 	publishMetrics(m)
 	mux := http.NewServeMux()
@@ -190,6 +201,11 @@ func NewHandler(m *Manager) http.Handler {
 	submit := func(w http.ResponseWriter, r *http.Request, req Request) {
 		job, err := m.Submit(req)
 		if err != nil {
+			if errors.Is(err, ErrQueueFull) {
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, err)
+				return
+			}
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -214,6 +230,12 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("POST /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
 		var req ScenarioRequest
 		if !decodeRequest(w, r, &req) {
+			return
+		}
+		// ?async=1 wins over the Accept header: an async submission has
+		// nothing to stream yet.
+		if async, _ := strconv.ParseBool(r.URL.Query().Get("async")); !async && wantsNDJSON(r) {
+			streamScenario(m, w, r, req)
 			return
 		}
 		submit(w, r, req)
@@ -276,6 +298,18 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	return mux
+}
+
+// wantsNDJSON reports whether the request's Accept header selects the
+// streaming scenario response.
+func wantsNDJSON(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(mt) == NDJSONContentType {
+			return true
+		}
+	}
+	return false
 }
 
 func cacheHeader(j *Job) string {

@@ -11,10 +11,12 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -23,6 +25,21 @@ import (
 // DefaultCacheEntries is the result-cache capacity when Options leaves it
 // zero.
 const DefaultCacheEntries = 256
+
+// DefaultQueueDepth is the admission bound when Options leaves it zero:
+// how many submitted jobs may wait for an execution slot before new
+// submissions are rejected with ErrQueueFull (HTTP 429).
+const DefaultQueueDepth = 256
+
+// DefaultPointCacheEntries sizes the point-level scenario cache when
+// Options leaves it zero. Points are small (a coordinate plus a few
+// measurements), so the default keeps several full grids resident.
+const DefaultPointCacheEntries = 4096
+
+// ErrQueueFull rejects a submission when the admission queue is at
+// capacity — the backpressure signal the HTTP layer maps to 429 +
+// Retry-After.
+var ErrQueueFull = errors.New("service: job queue full")
 
 // maxRetainedJobs bounds the completed-job history kept for polling;
 // oldest finished jobs are pruned first. In-flight jobs are never pruned.
@@ -39,6 +56,15 @@ type Options struct {
 	// CacheEntries sizes the LRU result cache: 0 means
 	// DefaultCacheEntries, negative disables caching.
 	CacheEntries int
+	// QueueDepth bounds how many jobs may wait for an execution slot: 0
+	// means DefaultQueueDepth, negative disables admission control.
+	// Submissions beyond the bound fail with ErrQueueFull instead of
+	// queueing without limit.
+	QueueDepth int
+	// PointCacheEntries sizes the point-level scenario cache (the
+	// partial-grid resume store): 0 means DefaultPointCacheEntries,
+	// negative disables it.
+	PointCacheEntries int
 }
 
 // Manager is the job manager: it owns the result cache, the singleflight
@@ -65,12 +91,60 @@ type Manager struct {
 	// accumulate a program per digest ever swept.
 	progs *lruCache[*sim.Program]
 
+	// points is the point-level scenario cache: completed grid points
+	// keyed by per-point spec digests, consulted by the planner before
+	// scheduling any simulation. It sits beside the spec-level result
+	// cache — that one answers identical specs byte-for-byte, this one
+	// lets overlapping specs resume each other's grids. Nil when
+	// disabled.
+	points *lruCache[core.ScenarioPoint]
+
+	// queueDepth bounds how many jobs may wait for a slot (0 = no bound).
+	queueDepth int
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string // job IDs in submission order, for listing/pruning
 	inflight map[string]*Job
 	seq      int64
 	deduped  uint64
+	queued   int    // jobs admitted but not yet holding a slot
+	rejected uint64 // submissions refused with ErrQueueFull
+}
+
+// scenarioPointStore adapts the point LRU to the planner's PointCache.
+type scenarioPointStore struct{ c *lruCache[core.ScenarioPoint] }
+
+func (s scenarioPointStore) GetPoint(d string) (core.ScenarioPoint, bool) { return s.c.Get(d) }
+func (s scenarioPointStore) PutPoint(d string, pt core.ScenarioPoint)     { s.c.Put(d, pt) }
+
+// scenarioPointCache returns the manager's point-level resume store in
+// the planner's shape, or nil when disabled.
+func (m *Manager) scenarioPointCache() core.PointCache {
+	if m.points == nil {
+		return nil
+	}
+	return scenarioPointStore{m.points}
+}
+
+// admit reserves an admission-queue place for a fresh job; m.mu must be
+// held. Reports false — after counting the rejection — when the queue
+// is full.
+func (m *Manager) admitLocked() bool {
+	if m.queueDepth > 0 && m.queued >= m.queueDepth {
+		m.rejected++
+		return false
+	}
+	m.queued++
+	return true
+}
+
+// unqueue releases the admission-queue place (the job acquired a slot
+// or was cancelled while waiting).
+func (m *Manager) unqueue() {
+	m.mu.Lock()
+	m.queued--
+	m.mu.Unlock()
 }
 
 // maxCompiledPrograms bounds the digest-keyed program cache, mirroring
@@ -136,15 +210,30 @@ func NewManager(opts Options) (*Manager, error) {
 	if entries == 0 {
 		entries = DefaultCacheEntries
 	}
+	depth := opts.QueueDepth
+	if depth == 0 {
+		depth = DefaultQueueDepth
+	}
+	if depth < 0 {
+		depth = 0 // unbounded
+	}
+	pointEntries := opts.PointCacheEntries
+	if pointEntries == 0 {
+		pointEntries = DefaultPointCacheEntries
+	}
 	m := &Manager{
-		eng:      eng,
-		store:    store,
-		cache:    newResultCache(entries),
-		progs:    newLRU[*sim.Program](maxCompiledPrograms),
-		start:    time.Now(),
-		slots:    make(chan struct{}, eng.Workers()),
-		jobs:     make(map[string]*Job),
-		inflight: make(map[string]*Job),
+		eng:        eng,
+		store:      store,
+		cache:      newResultCache(entries),
+		progs:      newLRU[*sim.Program](maxCompiledPrograms),
+		start:      time.Now(),
+		slots:      make(chan struct{}, eng.Workers()),
+		queueDepth: depth,
+		jobs:       make(map[string]*Job),
+		inflight:   make(map[string]*Job),
+	}
+	if pointEntries > 0 {
+		m.points = newLRU[core.ScenarioPoint](pointEntries)
 	}
 	// Tie the compiled-program cache to the store's capacity: a trace
 	// evicted (or deleted) from the store drops its program instead of
@@ -165,7 +254,9 @@ func (m *Manager) Store() *Store { return m.store }
 //     cached bytes, and no engine work was (or will be) spawned;
 //   - identical request in flight: the existing job is returned
 //     (singleflight dedupe) — both submitters wait on one computation;
-//   - otherwise a new job starts on the manager's engine.
+//   - otherwise a new job starts on the manager's engine — unless the
+//     admission queue is full, which fails with ErrQueueFull (cache hits
+//     and singleflight attaches are never rejected: they cost no slot).
 //
 // Validation and reference-resolution errors surface synchronously.
 func (m *Manager) Submit(req Request) (*Job, error) {
@@ -189,6 +280,10 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		m.mu.Unlock()
 		j.complete(b, nil)
 		return j, nil
+	}
+	if !m.admitLocked() {
+		m.mu.Unlock()
+		return nil, ErrQueueFull
 	}
 	j := m.newJobLocked(t, false)
 	m.inflight[t.key] = j
@@ -242,8 +337,10 @@ func (m *Manager) run(j *Job, t *task) {
 	// Wait for an execution slot — or for cancellation while queued.
 	select {
 	case m.slots <- struct{}{}:
+		m.unqueue()
 		defer func() { <-m.slots }()
 	case <-j.ctx.Done():
+		m.unqueue()
 		m.mu.Lock()
 		delete(m.inflight, t.key)
 		m.mu.Unlock()
@@ -304,16 +401,26 @@ func (m *Manager) UptimeSec() float64 { return time.Since(m.start).Seconds() }
 
 // Metrics is a point-in-time snapshot of the manager's serving counters.
 type Metrics struct {
-	UptimeSec      float64        `json:"uptime_sec"`
-	Workers        int            `json:"workers"`
-	CacheEntries   int            `json:"cache_entries"`
-	CacheHits      uint64         `json:"cache_hits"`
-	CacheMisses    uint64         `json:"cache_misses"`
-	Deduped        uint64         `json:"deduped"`
-	StoredTraces   int            `json:"stored_traces"`
-	StoredPlatform int            `json:"stored_platforms"`
-	Jobs           map[string]int `json:"jobs"`
-	Engine         engine.Stats   `json:"engine"`
+	UptimeSec    float64 `json:"uptime_sec"`
+	Workers      int     `json:"workers"`
+	CacheEntries int     `json:"cache_entries"`
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	Deduped      uint64  `json:"deduped"`
+	// QueueDepth is how many admitted jobs currently wait for an
+	// execution slot; QueueLimit is the admission bound (0 = unbounded);
+	// Rejected counts submissions refused with ErrQueueFull.
+	QueueDepth int    `json:"queue_depth"`
+	QueueLimit int    `json:"queue_limit"`
+	Rejected   uint64 `json:"rejected"`
+	// The point-level scenario cache (partial-grid resume store).
+	PointCacheEntries int            `json:"point_cache_entries"`
+	PointCacheHits    uint64         `json:"point_cache_hits"`
+	PointCacheMisses  uint64         `json:"point_cache_misses"`
+	StoredTraces      int            `json:"stored_traces"`
+	StoredPlatform    int            `json:"stored_platforms"`
+	Jobs              map[string]int `json:"jobs"`
+	Engine            engine.Stats   `json:"engine"`
 }
 
 // MetricsSnapshot gathers the current serving counters.
@@ -323,22 +430,31 @@ func (m *Manager) MetricsSnapshot() Metrics {
 	byState := map[string]int{}
 	m.mu.Lock()
 	deduped := m.deduped
+	queued, rejected := m.queued, m.rejected
 	for _, id := range m.order {
 		byState[string(m.jobs[id].State())]++
 	}
 	m.mu.Unlock()
-	return Metrics{
+	out := Metrics{
 		UptimeSec:      time.Since(m.start).Seconds(),
 		Workers:        m.eng.Workers(),
 		CacheEntries:   m.cache.Len(),
 		CacheHits:      hits,
 		CacheMisses:    misses,
 		Deduped:        deduped,
+		QueueDepth:     queued,
+		QueueLimit:     m.queueDepth,
+		Rejected:       rejected,
 		StoredTraces:   traces,
 		StoredPlatform: platforms,
 		Jobs:           byState,
 		Engine:         m.eng.Stats(),
 	}
+	if m.points != nil {
+		out.PointCacheEntries = m.points.Len()
+		out.PointCacheHits, out.PointCacheMisses = m.points.Counters()
+	}
+	return out
 }
 
 // ---------------------------------------------------------------------------

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -43,8 +44,27 @@ type ScenarioRequest struct {
 }
 
 func (r ScenarioRequest) prepare(m *Manager) (*task, error) {
+	sc, key, err := r.spec(m)
+	if err != nil {
+		return nil, err
+	}
+	return &task{
+		kind: KindScenario,
+		key:  key,
+		run: func(ctx context.Context, m *Manager) (any, error) {
+			return core.RunScenario(ctx, m.eng, *sc)
+		},
+	}, nil
+}
+
+// spec translates the wire request into the planner's scenario plus its
+// canonical digest (the cache key). Both the batch path (prepare) and
+// the streaming path build on it, so the two serve the same study under
+// the same key — and both run with the manager's point-level resume
+// store attached.
+func (r ScenarioRequest) spec(m *Manager) (*core.Scenario, string, error) {
 	if (r.App == "") == (r.Trace == "") {
-		return nil, fmt.Errorf("service: scenario needs exactly one of app or trace")
+		return nil, "", fmt.Errorf("service: scenario needs exactly one of app or trace")
 	}
 	sc := core.Scenario{
 		Axes:   r.Axes,
@@ -55,17 +75,17 @@ func (r ScenarioRequest) prepare(m *Manager) (*task, error) {
 	}
 	for _, ax := range r.Axes {
 		if ax.Len() == 0 {
-			return nil, fmt.Errorf("service: scenario axis %q has no points", ax.Kind)
+			return nil, "", fmt.Errorf("service: scenario axis %q has no points", ax.Kind)
 		}
 	}
 
 	if r.Trace != "" {
 		if r.Ranks != 0 || r.Chunks != 0 {
-			return nil, fmt.Errorf("service: trace-mode scenario does not take ranks or chunks")
+			return nil, "", fmt.Errorf("service: trace-mode scenario does not take ranks or chunks")
 		}
 		tr, err := m.store.GetTrace(r.Trace)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		digest := r.Trace
 		sc.Trace = tr
@@ -76,16 +96,16 @@ func (r ScenarioRequest) prepare(m *Manager) (*task, error) {
 		sc.CompileTrace = m.traceCompiler(digest)
 		plat, _, err := m.resolvePlatform(r.Platform, tr.Name, tr.NumRanks)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		sc.Platform = plat
 	} else {
 		if _, err := appEntry(r.App, r.Ranks); err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		tCfg, err := tracerConfig(r.Chunks)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		app := r.App
 		sc.Ranks = r.Ranks
@@ -97,21 +117,21 @@ func (r ScenarioRequest) prepare(m *Manager) (*task, error) {
 			if ax.Kind == core.AxisRanks {
 				for _, k := range ax.Counts {
 					if _, err := appEntry(r.App, k); err != nil {
-						return nil, err
+						return nil, "", err
 					}
 				}
 			}
 		}
 		plat, _, err := m.resolvePlatform(r.Platform, r.App, r.Ranks)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		sc.Platform = plat
 		sc.Traces = m.eng.Traces()
 	}
 
 	if n := sc.GridSize(); n > maxGridPoints {
-		return nil, fmt.Errorf("service: scenario grid has %d points, limit %d", sc.GridSize(), maxGridPoints)
+		return nil, "", fmt.Errorf("service: scenario grid has %d points, limit %d", sc.GridSize(), maxGridPoints)
 	}
 	// The canonical spec digest is the cache key: equivalent spellings of
 	// one study (preset vs inline platform, "block" vs its node list)
@@ -119,15 +139,14 @@ func (r ScenarioRequest) prepare(m *Manager) (*task, error) {
 	// scenarios fail here, before any engine work.
 	key, err := sc.Digest()
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return &task{
-		kind: KindScenario,
-		key:  key,
-		run: func(ctx context.Context, m *Manager) (any, error) {
-			return core.RunScenario(ctx, m.eng, sc)
-		},
-	}, nil
+	// The point-level resume store rides along as an execution hook (it
+	// never enters the digest): any scenario run through this manager —
+	// batch or streamed — reuses completed points from overlapping grids
+	// and contributes its own.
+	sc.PointCache = m.scenarioPointCache()
+	return &sc, key, nil
 }
 
 // RunScenarioFile loads a scenario spec (the POST /v1/scenarios body,
@@ -137,17 +156,7 @@ func (r ScenarioRequest) prepare(m *Manager) (*task, error) {
 // store lets specs reference stored trace digests. Returns the decoded
 // result and the exact marshalled bytes the daemon would have served.
 func RunScenarioFile(ctx context.Context, path string, eng *engine.Engine, store *Store) (*core.ScenarioResult, []byte, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, nil, fmt.Errorf("service: scenario file: %w", err)
-	}
-	var req ScenarioRequest
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		return nil, nil, fmt.Errorf("service: scenario file %s: %w", path, err)
-	}
-	mgr, err := NewManager(Options{Engine: eng, Store: store, CacheEntries: -1})
+	req, mgr, err := loadScenarioFile(path, eng, store)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -164,4 +173,52 @@ func RunScenarioFile(ctx context.Context, path string, eng *engine.Engine, store
 		return nil, nil, err
 	}
 	return &res, payload, nil
+}
+
+// StreamScenarioFile is RunScenarioFile's streaming sibling: it loads
+// the spec from path, executes it locally, and renders the result table
+// to w incrementally — each grid point prints the moment it (and its
+// predecessors) finish, with final output byte-identical to printing
+// the batch result's Format. The CLIs' -scenario flags drive it.
+func StreamScenarioFile(ctx context.Context, path string, eng *engine.Engine, store *Store, w io.Writer) error {
+	req, mgr, err := loadScenarioFile(path, eng, store)
+	if err != nil {
+		return err
+	}
+	sc, _, err := req.spec(mgr)
+	if err != nil {
+		return err
+	}
+	hdr, err := sc.Header()
+	if err != nil {
+		return err
+	}
+	p, err := core.NewScenarioPrinter(w, hdr)
+	if err != nil {
+		return err
+	}
+	_, err = core.RunScenarioStream(ctx, eng, *sc, p.Point)
+	return err
+}
+
+// loadScenarioFile decodes a scenario request file (unknown fields
+// rejected) and builds the one-off manager the CLIs run it on, with
+// both result caches disabled — a single local run has nothing to
+// resume.
+func loadScenarioFile(path string, eng *engine.Engine, store *Store) (ScenarioRequest, *Manager, error) {
+	var req ScenarioRequest
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return req, nil, fmt.Errorf("service: scenario file: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, nil, fmt.Errorf("service: scenario file %s: %w", path, err)
+	}
+	mgr, err := NewManager(Options{Engine: eng, Store: store, CacheEntries: -1, PointCacheEntries: -1})
+	if err != nil {
+		return req, nil, err
+	}
+	return req, mgr, nil
 }

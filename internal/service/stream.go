@@ -1,0 +1,273 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// The streaming face of POST /v1/scenarios. When a client asks with
+// Accept: application/x-ndjson, the response is newline-delimited
+// frames instead of one batch object:
+//
+//	{"header":{...}}          the ScenarioHeader, first
+//	{"point":{...}}           one frame per grid point, in result order
+//	{"done":{"points":N}}     terminal frame of a successful stream
+//	{"error":"..."}           terminal frame of a failed one
+//
+// Frames are spliced from exactly the bytes the batch reply is built
+// of, so concatenating the header and point payloads (with the points
+// wrapped back into a "points" array) reproduces the batch JSON
+// byte-for-byte — cached or fresh, streamed or not, one spec has one
+// serialized result. Completed streams land in the spec-level result
+// cache like batch runs do, and cached reruns replay the stored bytes
+// frame by frame without touching the engine.
+
+// NDJSONContentType is the media type that selects (and labels) the
+// streaming scenario response.
+const NDJSONContentType = "application/x-ndjson"
+
+// StreamDone is the payload of a successful stream's terminal frame.
+type StreamDone struct {
+	// Points is how many point frames preceded it.
+	Points int `json:"points"`
+}
+
+// StreamFrame is one decoded line of the NDJSON stream — exactly one
+// field is set. Clients normally consume it through
+// client.ScenarioStream rather than decoding frames by hand.
+type StreamFrame struct {
+	Header json.RawMessage `json:"header,omitempty"`
+	Point  json.RawMessage `json:"point,omitempty"`
+	Done   *StreamDone     `json:"done,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// writeFrame emits one `{"<name>":<payload>}` line. Frames are spliced
+// by hand from already-marshalled payloads so a cached replay and a
+// fresh run emit byte-identical lines.
+func writeFrame(w http.ResponseWriter, name string, payload []byte) error {
+	var b bytes.Buffer
+	b.Grow(len(name) + len(payload) + 6)
+	b.WriteString(`{"`)
+	b.WriteString(name)
+	b.WriteString(`":`)
+	b.Write(payload)
+	b.WriteString("}\n")
+	if _, err := w.Write(b.Bytes()); err != nil {
+		return err
+	}
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	return nil
+}
+
+func writeErrorFrame(w http.ResponseWriter, err error) {
+	msg, merr := json.Marshal(err.Error())
+	if merr != nil {
+		return
+	}
+	writeFrame(w, "error", msg)
+}
+
+// splitScenarioPayload decomposes a cached batch payload back into its
+// header bytes and raw point payloads. The header re-marshal is exact:
+// ScenarioHeader carries no floats, so unmarshal∘marshal is the
+// identity on the bytes the assembler produced.
+func splitScenarioPayload(payload []byte) ([]byte, []json.RawMessage, error) {
+	var res struct {
+		core.ScenarioHeader
+		Points []json.RawMessage `json:"points"`
+	}
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return nil, nil, fmt.Errorf("service: split scenario payload: %w", err)
+	}
+	hdr, err := json.Marshal(res.ScenarioHeader)
+	if err != nil {
+		return nil, nil, err
+	}
+	return hdr, res.Points, nil
+}
+
+// payloadAssembler accumulates streamed frames into exactly the bytes
+// json.Marshal(*core.ScenarioResult) would produce — the batch reply,
+// and the spec-level cache entry a completed stream deposits.
+type payloadAssembler struct {
+	buf    bytes.Buffer
+	points int
+}
+
+func newPayloadAssembler(hdrJSON []byte) *payloadAssembler {
+	a := &payloadAssembler{}
+	a.buf.Write(hdrJSON[:len(hdrJSON)-1]) // drop the header's closing brace
+	a.buf.WriteString(`,"points":[`)
+	return a
+}
+
+func (a *payloadAssembler) point(pointJSON []byte) {
+	if a.points > 0 {
+		a.buf.WriteByte(',')
+	}
+	a.buf.Write(pointJSON)
+	a.points++
+}
+
+func (a *payloadAssembler) finish() []byte {
+	a.buf.WriteString(`]}`)
+	return a.buf.Bytes()
+}
+
+// grantScenarioStream decides how a streaming scenario request is
+// served, under the same singleflight/cache/admission discipline as
+// Submit. Outcomes:
+//
+//   - cached spec: a born-done job plus the cached payload to replay;
+//   - identical request in flight: the existing job to wait on (its
+//     payload replays once it completes);
+//   - otherwise a fresh job the caller owns: it must acquire a slot,
+//     run the stream, and complete the job — or ErrQueueFull when the
+//     admission queue is at capacity.
+func (m *Manager) grantScenarioStream(key string) (j *Job, payload []byte, owner bool, err error) {
+	t := &task{kind: KindScenario, key: key}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.inflight[key]; ok {
+		m.deduped++
+		return j, nil, false, nil
+	}
+	if b, ok := m.cache.Get(key); ok {
+		j := m.newJobLocked(t, true)
+		j.complete(b, nil)
+		return j, b, false, nil
+	}
+	if !m.admitLocked() {
+		return nil, nil, false, ErrQueueFull
+	}
+	j = m.newJobLocked(t, false)
+	m.inflight[key] = j
+	return j, nil, true, nil
+}
+
+// streamScenario serves POST /v1/scenarios as NDJSON.
+func streamScenario(m *Manager, w http.ResponseWriter, r *http.Request, req ScenarioRequest) {
+	sc, key, err := req.spec(m)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	hdr, err := sc.Header()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	hdrJSON, err := json.Marshal(hdr)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	j, cachedPayload, owner, err := m.grantScenarioStream(key)
+	if err != nil {
+		// Queue full: tell the client to back off and retry.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	if !owner {
+		if cachedPayload == nil {
+			// Attached to an in-flight computation: its completed payload
+			// replays as one burst of frames.
+			if cachedPayload, err = j.Wait(r.Context()); err != nil {
+				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
+		}
+		streamPayload(w, j, cachedPayload)
+		return
+	}
+
+	// Fresh execution, owned by this request goroutine. The client
+	// vanishing cancels the job; the job's context is what the planner
+	// watches.
+	stop := context.AfterFunc(r.Context(), j.cancel)
+	defer stop()
+	select {
+	case m.slots <- struct{}{}:
+		m.unqueue()
+		defer func() { <-m.slots }()
+	case <-j.ctx.Done():
+		m.unqueue()
+		m.mu.Lock()
+		delete(m.inflight, key)
+		m.mu.Unlock()
+		j.complete(nil, j.ctx.Err())
+		writeError(w, http.StatusInternalServerError, j.ctx.Err())
+		return
+	}
+	j.markRunning()
+
+	w.Header().Set("Content-Type", NDJSONContentType)
+	w.Header().Set("X-Job-Id", j.ID())
+	w.Header().Set("X-Cache", cacheHeader(j))
+	w.WriteHeader(http.StatusOK)
+	if err := writeFrame(w, "header", hdrJSON); err != nil {
+		// The client is gone; finish bookkeeping without streaming.
+		j.cancel()
+	}
+	asm := newPayloadAssembler(hdrJSON)
+	_, err = core.RunScenarioStream(j.ctx, m.eng, *sc, func(pt core.ScenarioPoint) error {
+		ptJSON, err := json.Marshal(pt)
+		if err != nil {
+			return err
+		}
+		asm.point(ptJSON)
+		return writeFrame(w, "point", ptJSON)
+	})
+	if err != nil {
+		m.mu.Lock()
+		delete(m.inflight, key)
+		m.mu.Unlock()
+		j.complete(nil, err)
+		writeErrorFrame(w, err)
+		return
+	}
+	payload := asm.finish()
+	// Fill the cache before leaving the inflight table, like run() does:
+	// a later identical spec replays these exact bytes.
+	m.cache.Put(key, payload)
+	m.mu.Lock()
+	delete(m.inflight, key)
+	m.mu.Unlock()
+	j.complete(payload, nil)
+	done, _ := json.Marshal(StreamDone{Points: asm.points})
+	writeFrame(w, "done", done)
+}
+
+// streamPayload replays a completed batch payload as NDJSON frames —
+// the cached-rerun path. The frames are byte-identical to the ones the
+// original stream emitted.
+func streamPayload(w http.ResponseWriter, j *Job, payload []byte) {
+	hdrJSON, points, err := splitScenarioPayload(payload)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", NDJSONContentType)
+	w.Header().Set("X-Job-Id", j.ID())
+	w.Header().Set("X-Cache", cacheHeader(j))
+	w.WriteHeader(http.StatusOK)
+	if err := writeFrame(w, "header", hdrJSON); err != nil {
+		return
+	}
+	for _, pt := range points {
+		if err := writeFrame(w, "point", pt); err != nil {
+			return
+		}
+	}
+	done, _ := json.Marshal(StreamDone{Points: len(points)})
+	writeFrame(w, "done", done)
+}

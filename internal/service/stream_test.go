@@ -1,0 +1,333 @@
+// Tests of the streaming scenario path over real HTTP: NDJSON frames
+// reassemble to the batch bytes, cached reruns replay byte-identically
+// with zero engine work, overlapping grids resume from the point cache,
+// and the client iterator sees the same points the batch result lists.
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/service"
+	"repro/internal/service/client"
+	"repro/internal/tracer"
+)
+
+// newStreamService is newService plus the server's base URL, for tests
+// that speak raw NDJSON.
+func newStreamService(t *testing.T, workers int) (*service.Manager, *client.Client, string) {
+	t.Helper()
+	eng := engine.New(workers)
+	mgr, err := service.NewManager(service.Options{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(service.NewHandler(mgr))
+	t.Cleanup(srv.Close)
+	return mgr, client.New(srv.URL, srv.Client()), srv.URL
+}
+
+// postNDJSON posts a scenario request with Accept: application/x-ndjson
+// and returns the raw response body plus selected headers.
+func postNDJSON(t *testing.T, base string, req service.ScenarioRequest) (body []byte, status int, header http.Header) {
+	t.Helper()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, base+"/v1/scenarios", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Accept", service.NDJSONContentType)
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body, resp.StatusCode, resp.Header
+}
+
+// reassembleNDJSON splices a raw NDJSON body back into the batch JSON:
+// header bytes with "points" appended, exactly as the daemon's
+// assembler builds the cache entry. Returns the spliced payload and the
+// number of point frames.
+func reassembleNDJSON(t *testing.T, body []byte) ([]byte, int) {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("stream has %d frames, want header + done at least", len(lines))
+	}
+	var out bytes.Buffer
+	points := 0
+	sawDone := false
+	for i, line := range lines {
+		var f service.StreamFrame
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("frame %d: %v (%q)", i, err, line)
+		}
+		switch {
+		case f.Header != nil:
+			if i != 0 {
+				t.Fatalf("header frame at position %d", i)
+			}
+			hdr := []byte(f.Header)
+			out.Write(hdr[:len(hdr)-1])
+			out.WriteString(`,"points":[`)
+		case f.Point != nil:
+			if points > 0 {
+				out.WriteByte(',')
+			}
+			out.Write(f.Point)
+			points++
+		case f.Done != nil:
+			if f.Done.Points != points {
+				t.Fatalf("done frame counts %d points, stream carried %d", f.Done.Points, points)
+			}
+			if i != len(lines)-1 {
+				t.Fatalf("done frame at position %d of %d", i, len(lines))
+			}
+			sawDone = true
+		case f.Error != "":
+			t.Fatalf("stream failed: %s", f.Error)
+		default:
+			t.Fatalf("frame %d is empty: %q", i, line)
+		}
+	}
+	if !sawDone {
+		t.Fatal("stream ended without a done frame")
+	}
+	out.WriteString(`]}`)
+	return out.Bytes(), points
+}
+
+// TestScenarioStreamNDJSONMatchesBatch is the tentpole acceptance path:
+// a fresh stream's frames reassemble to exactly the batch JSON; the
+// batch endpoint then serves those bytes from cache with zero new engine
+// jobs; and a repeated stream replays the identical frame bytes, also
+// without touching the engine.
+func TestScenarioStreamNDJSONMatchesBatch(t *testing.T) {
+	mgr, cl, base := newStreamService(t, 2)
+	ctx := context.Background()
+	req := service.ScenarioRequest{
+		App: "cg", Ranks: 4,
+		Axes: []core.Axis{
+			core.BandwidthAxis(125, 250),
+			core.MappingAxis("block", "rr"),
+		},
+		Output: "traffic",
+	}
+
+	stream1, status, hdr := postNDJSON(t, base, req)
+	if status != http.StatusOK {
+		t.Fatalf("stream status %d: %s", status, stream1)
+	}
+	if ct := hdr.Get("Content-Type"); ct != service.NDJSONContentType {
+		t.Fatalf("Content-Type %q, want %q", ct, service.NDJSONContentType)
+	}
+	if hdr.Get("X-Cache") != "miss" {
+		t.Fatalf("fresh stream X-Cache %q", hdr.Get("X-Cache"))
+	}
+	assembled, points := reassembleNDJSON(t, stream1)
+	if points != 4 {
+		t.Fatalf("%d point frames, want 4", points)
+	}
+	afterStream := mgr.Engine().Stats()
+
+	// The batch endpoint answers the same spec from the cache the stream
+	// filled — byte-identical to the reassembled frames, no engine work.
+	batch, err := cl.ScenarioRaw(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(assembled, batch) {
+		t.Fatalf("reassembled stream differs from batch JSON:\n%s\n%s", assembled, batch)
+	}
+	if after := mgr.Engine().Stats(); after.Started != afterStream.Started {
+		t.Fatalf("cached batch rerun spawned engine jobs: %d -> %d", afterStream.Started, after.Started)
+	}
+
+	// A repeated stream replays the stored payload frame by frame —
+	// byte-identical to the original stream, zero new engine jobs.
+	stream2, status, hdr2 := postNDJSON(t, base, req)
+	if status != http.StatusOK {
+		t.Fatalf("cached stream status %d", status)
+	}
+	if hdr2.Get("X-Cache") != "hit" {
+		t.Fatalf("cached stream X-Cache %q", hdr2.Get("X-Cache"))
+	}
+	if !bytes.Equal(stream1, stream2) {
+		t.Fatalf("cached stream not byte-identical:\n%s\n%s", stream1, stream2)
+	}
+	if after := mgr.Engine().Stats(); after.Started != afterStream.Started {
+		t.Fatalf("cached stream spawned engine jobs: %d -> %d", afterStream.Started, after.Started)
+	}
+}
+
+// TestScenarioStreamClientIterator drives the same run through the
+// client's pull iterator: header first, points in batch order, io.EOF
+// after the done frame.
+func TestScenarioStreamClientIterator(t *testing.T) {
+	_, cl, _ := newStreamService(t, 2)
+	ctx := context.Background()
+	req := service.ScenarioRequest{
+		App: "cg", Ranks: 4,
+		Axes:   []core.Axis{core.BandwidthAxis(125, 250, 500)},
+		Output: "finish",
+	}
+	st, err := cl.ScenarioStream(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	hdr := st.Header()
+	if hdr.SpecDigest == "" || hdr.GridPoints != 3 {
+		t.Fatalf("stream header %+v", hdr)
+	}
+	var got []core.ScenarioPoint
+	for {
+		pt, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, pt)
+	}
+	// The cached batch result lists exactly the streamed points, in order.
+	res, err := cl.Scenario(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpecDigest != hdr.SpecDigest {
+		t.Fatalf("spec digest mismatch: %s vs %s", res.SpecDigest, hdr.SpecDigest)
+	}
+	if len(got) != len(res.Points) {
+		t.Fatalf("streamed %d points, batch has %d", len(got), len(res.Points))
+	}
+	for i := range got {
+		sj, _ := json.Marshal(got[i])
+		bj, _ := json.Marshal(res.Points[i])
+		if !bytes.Equal(sj, bj) {
+			t.Fatalf("point %d differs:\n%s\n%s", i, sj, bj)
+		}
+	}
+}
+
+// TestScenarioStreamSupersetResume: after a subset grid runs, a superset
+// spec simulates only the gap — the overlapping points come from the
+// point-level cache, visible in the metrics counters.
+func TestScenarioStreamSupersetResume(t *testing.T) {
+	mgr, cl, base := newStreamService(t, 2)
+	ctx := context.Background()
+
+	entry, _ := apps.ByName("cg", 4)
+	run, err := tracer.Trace("cg", 4, tracer.DefaultConfig(), entry.App.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := cl.UploadTrace(ctx, run.BaseTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	subset := service.ScenarioRequest{
+		Trace:  info.Digest,
+		Axes:   []core.Axis{core.BandwidthAxis(125, 250)},
+		Output: "finish",
+	}
+	subBody, status, _ := postNDJSON(t, base, subset)
+	if status != http.StatusOK {
+		t.Fatalf("subset stream status %d: %s", status, subBody)
+	}
+	subAssembled, _ := reassembleNDJSON(t, subBody)
+	afterSubset := mgr.Engine().Stats()
+	jobsSubset := afterSubset.Started
+
+	superset := subset
+	superset.Axes = []core.Axis{core.BandwidthAxis(125, 250, 500)}
+	supBody, status, _ := postNDJSON(t, base, superset)
+	if status != http.StatusOK {
+		t.Fatalf("superset stream status %d: %s", status, supBody)
+	}
+	supAssembled, points := reassembleNDJSON(t, supBody)
+	if points != 3 {
+		t.Fatalf("superset streamed %d points, want 3", points)
+	}
+	afterSuperset := mgr.Engine().Stats()
+
+	// Finish output on a stored trace measures flavors per bandwidth;
+	// the superset adds one bandwidth, so the gap costs exactly the
+	// per-point job count the subset averaged (its two points were all
+	// fresh).
+	perPoint := int(jobsSubset) / 2
+	if gap := int(afterSuperset.Started - afterSubset.Started); gap != perPoint {
+		t.Fatalf("superset ran %d engine jobs, want %d (one fresh point)", gap, perPoint)
+	}
+	met := mgr.MetricsSnapshot()
+	if met.PointCacheHits < 2 {
+		t.Fatalf("point cache hits %d, want >= 2 (the overlapping grid)", met.PointCacheHits)
+	}
+
+	// The superset's overlapping points are byte-identical to the
+	// subset's — cached resume does not perturb the payload.
+	var sub, sup struct {
+		Points []json.RawMessage `json:"points"`
+	}
+	if err := json.Unmarshal(subAssembled, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(supAssembled, &sup); err != nil {
+		t.Fatal(err)
+	}
+	for i := range sub.Points {
+		if !bytes.Equal(sub.Points[i], sup.Points[i]) {
+			t.Fatalf("overlapping point %d differs:\n%s\n%s", i, sub.Points[i], sup.Points[i])
+		}
+	}
+}
+
+// TestScenarioStreamValidationError: a malformed spec fails before any
+// frame is written — a plain JSON error with 400, not a broken stream.
+func TestScenarioStreamValidationError(t *testing.T) {
+	_, _, base := newStreamService(t, 2)
+	body, status, hdr := postNDJSON(t, base, service.ScenarioRequest{App: "cg", Ranks: 4, Trace: "also-set"})
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", status)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error Content-Type %q", ct)
+	}
+	if !bytes.Contains(body, []byte("exactly one of app or trace")) {
+		t.Fatalf("error body %s", body)
+	}
+}
+
+// TestScenarioStreamClientError: the iterator surfaces daemon-side
+// rejections as errors from ScenarioStream, not as broken streams.
+func TestScenarioStreamClientError(t *testing.T) {
+	_, cl, _ := newStreamService(t, 2)
+	_, err := cl.ScenarioStream(context.Background(), service.ScenarioRequest{Output: "finish"})
+	if err == nil || !strings.Contains(err.Error(), "exactly one of app or trace") {
+		t.Fatalf("err = %v", err)
+	}
+	if errors.Is(err, io.EOF) {
+		t.Fatal("validation error reported as EOF")
+	}
+}
