@@ -502,6 +502,34 @@ func BenchmarkSimCompiledReplay(b *testing.B) {
 			b.ReportMetric(float64(records), "records/replay")
 		})
 	}
+	// Sharded (conservative PDES) replay of the same program: the shard
+	// dimension of the baseline. Results are byte-identical to serial —
+	// these rows measure pure scheduling. The platform re-clusters onto
+	// one node per shard (one shard per node is the partition's natural
+	// grain). On a single-core box the shard counts collapse to serial
+	// plus coordination overhead; the multicore speedup only shows when
+	// GOMAXPROCS >= the shard count.
+	for _, shards := range []int{2, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("fatnode-shards%d", shards), func(b *testing.B) {
+			plat := multi.WithNodes(shards)
+			if sim.EffectiveShards(plat, prog, shards) != shards {
+				b.Skipf("platform cannot run %d shards", shards)
+			}
+			arena := sim.NewArena()
+			if _, err := arena.RunProgramShards(plat, prog, shards); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := arena.RunProgramShards(plat, prog, shards); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(records), "records/replay")
+		})
+	}
 }
 
 // BenchmarkSimHierarchical measures the hierarchical replay path on the

@@ -1,0 +1,194 @@
+// Command benchgate is the CI benchmark regression gate: it compares
+// ns/op between two benchmark runs and exits non-zero when any gated
+// benchmark regressed by more than the threshold.
+//
+// Two comparison modes:
+//
+//	benchgate -old old.txt -new new.txt            # two `go test -bench` outputs
+//	benchgate -baseline BENCH_sim_multicore.json \
+//	          -group gomaxprocs=1 -new new.txt     # committed JSON baseline
+//
+// The two-file mode is what CI uses: it runs the gated benchmarks at
+// the merge base and at HEAD on the same runner, so the ratio is
+// machine-consistent. The JSON mode compares a fresh run against the
+// committed baseline — only meaningful on the machine that recorded it
+// (ns/op does not transfer across hosts; see the baseline's comment).
+//
+// Each benchmark's ns/op is the minimum across -count repetitions (the
+// least-noisy estimator for a gate: the min is the run least disturbed
+// by the machine). Benchmarks are matched by name with any trailing
+// -<procs> suffix stripped, filtered by -match, and a benchmark present
+// on only one side is ignored (new benchmarks don't fail the gate).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline `go test -bench` output file")
+	newPath := flag.String("new", "", "candidate `go test -bench` output file")
+	baseline := flag.String("baseline", "", "committed baseline JSON (e.g. BENCH_sim_multicore.json); alternative to -old")
+	group := flag.String("group", "gomaxprocs=1", "benchmark group inside -baseline")
+	match := flag.String("match", "BenchmarkSimCompiledReplay|BenchmarkScenarioStream", "regexp of benchmark names to gate")
+	threshold := flag.Float64("threshold", 10, "maximum allowed ns/op regression in percent")
+	flag.Parse()
+
+	if err := run(*oldPath, *newPath, *baseline, *group, *match, *threshold, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(oldPath, newPath, baseline, group, match string, threshold float64, w io.Writer) error {
+	if newPath == "" {
+		return fmt.Errorf("-new is required")
+	}
+	if (oldPath == "") == (baseline == "") {
+		return fmt.Errorf("exactly one of -old or -baseline is required")
+	}
+	re, err := regexp.Compile(match)
+	if err != nil {
+		return fmt.Errorf("-match: %w", err)
+	}
+
+	var old map[string]float64
+	if oldPath != "" {
+		old, err = readBenchFile(oldPath)
+	} else {
+		old, err = readBaselineJSON(baseline, group)
+	}
+	if err != nil {
+		return err
+	}
+	cur, err := readBenchFile(newPath)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(old))
+	for name := range old {
+		if re.MatchString(name) {
+			if _, ok := cur[name]; ok {
+				names = append(names, name)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no gated benchmarks matched %q on both sides — gate misconfigured?", match)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		delta := (cur[name] - old[name]) / old[name] * 100
+		verdict := "ok"
+		if delta > threshold {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(w, "%-55s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+			name, old[name], cur[name], delta, verdict)
+	}
+	if failed {
+		return fmt.Errorf("ns/op regression above %.0f%% threshold", threshold)
+	}
+	return nil
+}
+
+// readBenchFile parses `go test -bench` output and returns the minimum
+// ns/op per benchmark name (trailing -<procs> suffix stripped) across
+// all repetitions in the file.
+func readBenchFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out, err := parseBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return out, nil
+}
+
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := trimProcs(fields[0])
+		// Fields after the iteration count come in value/unit pairs; find
+		// the ns/op pair.
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+			}
+			if prev, ok := out[name]; !ok || v < prev {
+				out[name] = v
+			}
+			break
+		}
+	}
+	return out, sc.Err()
+}
+
+// trimProcs strips the -<GOMAXPROCS> suffix go test appends when
+// GOMAXPROCS > 1, so names match across configurations and against the
+// committed JSON.
+func trimProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// readBaselineJSON extracts ns_per_op for one group of a committed
+// baseline file shaped like BENCH_sim_multicore.json.
+func readBaselineJSON(path, group string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Benchmarks map[string]map[string]struct {
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	rows, ok := doc.Benchmarks[group]
+	if !ok {
+		return nil, fmt.Errorf("%s: no benchmark group %q", path, group)
+	}
+	out := make(map[string]float64, len(rows))
+	for name, row := range rows {
+		out[name] = row.NsPerOp
+	}
+	return out, nil
+}

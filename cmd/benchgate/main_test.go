@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOld = `goos: linux
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimCompiledReplay/flat-degenerate         	     100	    600000 ns/op	      4800 records/replay	       0 B/op	       0 allocs/op
+BenchmarkSimCompiledReplay/flat-degenerate         	     100	    580000 ns/op	      4800 records/replay	       0 B/op	       0 allocs/op
+BenchmarkScenarioStream/batch-4                    	     100	   5000000 ns/op	        24.00 points	  296980 B/op	     702 allocs/op
+BenchmarkOther/ignored                             	     100	    100000 ns/op
+PASS
+`
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchMinAndProcsSuffix(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOld))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Min across repetitions.
+	if got["BenchmarkSimCompiledReplay/flat-degenerate"] != 580000 {
+		t.Fatalf("min ns/op = %v, want 580000", got["BenchmarkSimCompiledReplay/flat-degenerate"])
+	}
+	// -4 procs suffix stripped.
+	if got["BenchmarkScenarioStream/batch"] != 5000000 {
+		t.Fatalf("procs suffix not stripped: %v", got)
+	}
+}
+
+func TestGatePassAndFail(t *testing.T) {
+	old := writeFile(t, "old.txt", sampleOld)
+
+	// Within threshold (+5%): passes. The unmatched BenchmarkOther
+	// regression must not trip the gate.
+	pass := writeFile(t, "new-pass.txt", strings.NewReplacer(
+		"580000", "580000", "600000", "609000", "5000000", "5200000", "100000", "900000",
+	).Replace(sampleOld))
+	if err := run(old, pass, "", "", "BenchmarkSimCompiledReplay|BenchmarkScenarioStream", 10, os.Stderr); err != nil {
+		t.Fatalf("gate failed on a within-threshold run: %v", err)
+	}
+
+	// +25% on a gated benchmark: fails.
+	fail := writeFile(t, "new-fail.txt", strings.NewReplacer(
+		"600000", "750000", "580000", "725000",
+	).Replace(sampleOld))
+	if err := run(old, fail, "", "", "BenchmarkSimCompiledReplay|BenchmarkScenarioStream", 10, os.Stderr); err == nil {
+		t.Fatal("gate passed a +25% regression")
+	}
+}
+
+func TestGateAgainstCommittedBaseline(t *testing.T) {
+	// The committed multicore baseline must itself be readable and
+	// contain the gated benchmarks — this is what keeps the JSON schema
+	// and the gate in sync.
+	rows, err := readBaselineJSON("../../BENCH_sim_multicore.json", "gomaxprocs=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"BenchmarkSimCompiledReplay/flat-degenerate",
+		"BenchmarkSimCompiledReplay/fatnode-shards2",
+		"BenchmarkScenarioStream/stream",
+	} {
+		if rows[name] <= 0 {
+			t.Fatalf("baseline missing %s (got %v)", name, rows[name])
+		}
+	}
+}
+
+func TestGateRejectsEmptyMatch(t *testing.T) {
+	old := writeFile(t, "old.txt", sampleOld)
+	cur := writeFile(t, "new.txt", sampleOld)
+	if err := run(old, cur, "", "", "BenchmarkNothingMatchesThis", 10, os.Stderr); err == nil {
+		t.Fatal("gate passed with zero matched benchmarks")
+	}
+}

@@ -40,6 +40,7 @@ func main() {
 	cacheEntries := flag.Int("cache", service.DefaultCacheEntries, "result cache capacity in entries (0 or negative disables)")
 	queueDepth := flag.Int("queue", service.DefaultQueueDepth, "admission queue bound: jobs beyond it are rejected with 429 (0 or negative = unbounded)")
 	pointCache := flag.Int("point-cache", service.DefaultPointCacheEntries, "point-level scenario cache capacity — overlapping grids resume each other (0 or negative disables)")
+	replayShards := flag.Int("replay-shards", 0, "parallel (PDES) shards per scenario replay: 0 = planner's choice, 1 = serial, N = force N (results identical either way)")
 	storeDir := flag.String("store-dir", "", "disk tier for the content-addressed artifact store (empty = memory only)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling; leave off in untrusted networks)")
 	scenarioPath := flag.String("scenario", "", "one-shot mode: run a scenario spec (JSON, the POST /v1/scenarios schema) against -store-dir, stream the point table, and exit without serving")
@@ -57,7 +58,7 @@ func main() {
 		// each point prints as it finishes; -scenario-json prints the
 		// batch JSON instead.
 		if *scenarioJSON {
-			_, raw, err := service.RunScenarioFile(context.Background(), *scenarioPath, engine.New(*workers), store)
+			_, raw, err := service.RunScenarioFile(context.Background(), *scenarioPath, service.Options{Engine: engine.New(*workers), Store: store, ReplayShards: *replayShards})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "simd: %v\n", err)
 				os.Exit(1)
@@ -66,7 +67,7 @@ func main() {
 			fmt.Println()
 			return
 		}
-		if err := service.StreamScenarioFile(context.Background(), *scenarioPath, engine.New(*workers), store, os.Stdout); err != nil {
+		if err := service.StreamScenarioFile(context.Background(), *scenarioPath, service.Options{Engine: engine.New(*workers), Store: store, ReplayShards: *replayShards}, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "simd: %v\n", err)
 			os.Exit(1)
 		}
@@ -93,6 +94,7 @@ func main() {
 		CacheEntries:      entries,
 		QueueDepth:        queue,
 		PointCacheEntries: points,
+		ReplayShards:      *replayShards,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simd: %v\n", err)

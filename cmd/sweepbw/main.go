@@ -47,7 +47,7 @@ func main() {
 
 	if *scenarioPath != "" {
 		if *scenarioJSON {
-			_, raw, err := service.RunScenarioFile(context.Background(), *scenarioPath, engine.New(*workers), nil)
+			_, raw, err := service.RunScenarioFile(context.Background(), *scenarioPath, service.Options{Engine: engine.New(*workers), ReplayShards: pf.ReplayShards()})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "sweepbw: %v\n", err)
 				os.Exit(1)
@@ -58,7 +58,7 @@ func main() {
 		}
 		// The table prints incrementally: each grid point appears the
 		// moment it (and its predecessors) finish simulating.
-		if err := service.StreamScenarioFile(context.Background(), *scenarioPath, engine.New(*workers), nil, os.Stdout); err != nil {
+		if err := service.StreamScenarioFile(context.Background(), *scenarioPath, service.Options{Engine: engine.New(*workers), ReplayShards: pf.ReplayShards()}, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "sweepbw: %v\n", err)
 			os.Exit(1)
 		}

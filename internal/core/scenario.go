@@ -254,6 +254,15 @@ type Scenario struct {
 	// it is an execution hook, not part of the spec's identity — it never
 	// enters the canonical digest.
 	PointCache PointCache
+
+	// ReplayShards overrides the planner's intra-point parallelism choice
+	// for finish/traffic replays: 0 lets the planner decide by grid size,
+	// 1 forces serial replay, n > 1 requests n conservative-PDES shards
+	// per replay (sim.RunProgramShards; platforms that cannot shard fall
+	// back to serial). Sharded and serial replays are byte-identical, so
+	// this is pure scheduling — like Traces and PointCache it never
+	// enters the canonical digest.
+	ReplayShards int
 }
 
 // PointCache is the point-level resume store RunScenarioStream consults

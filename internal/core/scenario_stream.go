@@ -185,13 +185,17 @@ func RunScenarioStream(ctx context.Context, eng *engine.Engine, spec Scenario, y
 		if err := em.advance(); err != nil { // cached prefix before any job
 			return nil, err
 		}
+		shards := sc.ReplayShards
+		if shards == 0 {
+			shards = pointShards(eng, len(jobs))
+		}
 		err = engine.MapStream(ctx, eng, len(jobs), 0, func(ctx context.Context, j int) (FlavorMeasure, error) {
 			pt, f := jobs[j].pt, jobs[j].f
 			prog, digest, err := x.progFor(pt.ranks, pt.chunks, f)
 			if err != nil {
 				return FlavorMeasure{}, err
 			}
-			sum, err := sim.ReplaySummary(pt.plat, prog)
+			sum, err := sim.ReplayShardsSummary(pt.plat, prog, shards)
 			if err != nil {
 				return FlavorMeasure{}, fmt.Errorf("core: scenario point %v %s: %w", pt.coords, f, err)
 			}
@@ -257,6 +261,27 @@ func RunScenarioStream(ctx context.Context, eng *engine.Engine, spec Scenario, y
 		return nil, err
 	}
 	return hdr, nil
+}
+
+// pointShards picks the intra-point shard request for a grid of njobs
+// replay jobs. A grid with at least as many jobs as the engine has
+// workers already saturates the cores through inter-point parallelism,
+// so every point replays serially; a small grid (one point, a handful of
+// flavors) leaves workers idle, and those move inside each replay as
+// conservative-PDES shards instead (sim.RunProgramShards). Sharded and
+// serial replays are byte-identical, so the choice is pure scheduling —
+// it can never change a result. Platforms that cannot shard fall back to
+// serial inside sim.EffectiveShards.
+func pointShards(eng *engine.Engine, njobs int) int {
+	if eng == nil {
+		eng = engine.Default()
+	}
+	w := eng.Workers()
+	if njobs <= 0 || njobs >= w {
+		return 1
+	}
+	// Split the worker pool evenly across the in-flight jobs.
+	return w / njobs
 }
 
 // streamPerPoint runs one engine job per uncached grid point (what-if

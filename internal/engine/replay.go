@@ -8,24 +8,67 @@ import (
 	"repro/internal/trace"
 )
 
+// ReplayOptions tunes how the batch replay helpers execute each point.
+// The zero value is the default: serial replay per point, with the
+// parallelism coming from the engine's worker pool across points.
+type ReplayOptions struct {
+	// Shards requests conservative parallel (PDES) replay inside each
+	// point: 1 (or 0 on an unshardable platform) replays serially, n > 1
+	// asks for n shards, and -1 asks for the automatic shard count
+	// (sim.EffectiveShards). Intra-point sharding competes with the
+	// pool's inter-point parallelism for the same cores — prefer it only
+	// when points are few and large (see core's planner).
+	Shards int
+}
+
+// shards maps the option onto sim's convention, where 0 means automatic.
+func (o ReplayOptions) shards() int {
+	switch {
+	case o.Shards < 0:
+		return 0
+	case o.Shards == 0:
+		return 1
+	default:
+		return o.Shards
+	}
+}
+
+func replayOpts(opts []ReplayOptions) ReplayOptions {
+	if len(opts) > 0 {
+		return opts[0]
+	}
+	return ReplayOptions{}
+}
+
 // ReplayAll replays every trace on the platform cfg through the pool and
 // returns the results in input order. Traces may repeat (replaying one
 // shared trace N times is race-free: the simulator never mutates its
 // trace) and nil results mark failed replays, whose errors come back
-// aggregated per index. Results are freshly allocated and owned by the
-// caller; workloads that only need makespans should prefer SweepFinish,
-// which reuses pooled replay arenas.
-func ReplayAll(ctx context.Context, e *Engine, cfg network.Config, traces []*trace.Trace) ([]*sim.Result, error) {
+// aggregated per index. Each point replays on a pooled arena and copies
+// out into a fresh caller-owned Result — the copy is sized exactly, so a
+// batch costs four allocations per point, not an arena per point.
+// Workloads that only need makespans should prefer SweepFinish.
+func ReplayAll(ctx context.Context, e *Engine, cfg network.Config, traces []*trace.Trace, opts ...ReplayOptions) ([]*sim.Result, error) {
+	opt := replayOpts(opts)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	plat := cfg.Platform()
 	return Map(ctx, e, len(traces), func(ctx context.Context, i int) (*sim.Result, error) {
-		return sim.Run(cfg, traces[i])
+		prog, err := sim.Compile(traces[i])
+		if err != nil {
+			return nil, err
+		}
+		return sim.ReplayInto(plat, prog, opt.shards(), new(sim.Result))
 	})
 }
 
 // ReplayConfigs replays one trace on every platform configuration through
 // the pool — the shape of a bandwidth sweep — returning results in input
 // order. The trace is compiled once and the program shared by every
-// replay.
-func ReplayConfigs(ctx context.Context, e *Engine, cfgs []network.Config, tr *trace.Trace) ([]*sim.Result, error) {
+// replay; results copy out of pooled arenas like ReplayAll's.
+func ReplayConfigs(ctx context.Context, e *Engine, cfgs []network.Config, tr *trace.Trace, opts ...ReplayOptions) ([]*sim.Result, error) {
+	opt := replayOpts(opts)
 	if tr == nil {
 		return nil, sim.ErrNilTrace
 	}
@@ -37,7 +80,7 @@ func ReplayConfigs(ctx context.Context, e *Engine, cfgs []network.Config, tr *tr
 		if err := cfgs[i].Validate(); err != nil {
 			return nil, err
 		}
-		return sim.RunProgram(cfgs[i].Platform(), prog)
+		return sim.ReplayInto(cfgs[i].Platform(), prog, opt.shards(), new(sim.Result))
 	})
 }
 
@@ -45,7 +88,7 @@ func ReplayConfigs(ctx context.Context, e *Engine, cfgs []network.Config, tr *tr
 // and returns only the makespans, in input order. The trace compiles once;
 // each point replays the shared program on a pooled arena, so a saturated
 // sweep allocates no per-replay simulator state.
-func SweepFinish(ctx context.Context, e *Engine, plats []network.Platform, tr *trace.Trace) ([]float64, error) {
+func SweepFinish(ctx context.Context, e *Engine, plats []network.Platform, tr *trace.Trace, opts ...ReplayOptions) ([]float64, error) {
 	if tr == nil {
 		return nil, sim.ErrNilTrace
 	}
@@ -53,14 +96,21 @@ func SweepFinish(ctx context.Context, e *Engine, plats []network.Platform, tr *t
 	if err != nil {
 		return nil, err
 	}
-	return SweepFinishProgram(ctx, e, plats, prog)
+	return SweepFinishProgram(ctx, e, plats, prog, opts...)
 }
 
 // SweepFinishProgram is SweepFinish for an already-compiled program (e.g.
 // one shared through TraceCache.CompiledTrace or a service-layer digest
 // cache).
-func SweepFinishProgram(ctx context.Context, e *Engine, plats []network.Platform, prog *sim.Program) ([]float64, error) {
+func SweepFinishProgram(ctx context.Context, e *Engine, plats []network.Platform, prog *sim.Program, opts ...ReplayOptions) ([]float64, error) {
+	opt := replayOpts(opts)
+	if opt.shards() == 1 {
+		return Map(ctx, e, len(plats), func(ctx context.Context, i int) (float64, error) {
+			return sim.ReplayFinish(plats[i], prog)
+		})
+	}
 	return Map(ctx, e, len(plats), func(ctx context.Context, i int) (float64, error) {
-		return sim.ReplayFinish(plats[i], prog)
+		s, err := sim.ReplayShardsSummary(plats[i], prog, opt.shards())
+		return s.FinishSec, err
 	})
 }

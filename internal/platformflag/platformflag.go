@@ -32,6 +32,7 @@ type Flags struct {
 	bw      *float64
 	latUs   *float64
 	buses   *int
+	shards  *int
 	dump    *bool
 }
 
@@ -46,9 +47,17 @@ func Register(fs *flag.FlagSet) *Flags {
 		bw:      fs.Float64("bw", 0, "override inter-node bandwidth in MB/s (0 = keep)"),
 		latUs:   fs.Float64("lat", -1, "override inter-node latency in microseconds (negative = keep)"),
 		buses:   fs.Int("buses", -1, "override global buses, 0 = unlimited (-1 = keep calibration)"),
+		shards:  fs.Int("replay-shards", 0, "parallel (PDES) shards per replay: 0 = planner's choice, 1 = serial, N = force N (results identical either way)"),
 		dump:    fs.Bool("dump-platform", false, "print the resolved platform as JSON and exit"),
 	}
 }
+
+// ReplayShards returns the -replay-shards setting: the intra-replay
+// parallelism the commands pass through to the scenario planner
+// (core.Scenario.ReplayShards) or to sim.RunProgramShards directly.
+// Sharded and serial replays are byte-identical; the flag is pure
+// scheduling.
+func (f *Flags) ReplayShards() int { return *f.shards }
 
 // Resolve builds the active platform for the given application (used for
 // Table I bus calibration when no preset or file is named) and rank count.

@@ -65,6 +65,11 @@ type Options struct {
 	// partial-grid resume store): 0 means DefaultPointCacheEntries,
 	// negative disables it.
 	PointCacheEntries int
+	// ReplayShards sets every scenario's intra-point replay parallelism
+	// (core.Scenario.ReplayShards): 0 lets the planner choose by grid
+	// size, 1 forces serial replay, n > 1 requests n PDES shards per
+	// replay. Results are byte-identical either way.
+	ReplayShards int
 }
 
 // Manager is the job manager: it owns the result cache, the singleflight
@@ -101,6 +106,10 @@ type Manager struct {
 
 	// queueDepth bounds how many jobs may wait for a slot (0 = no bound).
 	queueDepth int
+
+	// replayShards is Options.ReplayShards, stamped onto every scenario
+	// spec the manager executes.
+	replayShards int
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -222,15 +231,16 @@ func NewManager(opts Options) (*Manager, error) {
 		pointEntries = DefaultPointCacheEntries
 	}
 	m := &Manager{
-		eng:        eng,
-		store:      store,
-		cache:      newResultCache(entries),
-		progs:      newLRU[*sim.Program](maxCompiledPrograms),
-		start:      time.Now(),
-		slots:      make(chan struct{}, eng.Workers()),
-		queueDepth: depth,
-		jobs:       make(map[string]*Job),
-		inflight:   make(map[string]*Job),
+		eng:          eng,
+		store:        store,
+		cache:        newResultCache(entries),
+		progs:        newLRU[*sim.Program](maxCompiledPrograms),
+		start:        time.Now(),
+		slots:        make(chan struct{}, eng.Workers()),
+		queueDepth:   depth,
+		replayShards: opts.ReplayShards,
+		jobs:         make(map[string]*Job),
+		inflight:     make(map[string]*Job),
 	}
 	if pointEntries > 0 {
 		m.points = newLRU[core.ScenarioPoint](pointEntries)

@@ -9,7 +9,6 @@ import (
 	"os"
 
 	"repro/internal/core"
-	"repro/internal/engine"
 )
 
 // KindScenario labels generic scenario jobs (POST /v1/scenarios).
@@ -144,19 +143,23 @@ func (r ScenarioRequest) spec(m *Manager) (*core.Scenario, string, error) {
 	// The point-level resume store rides along as an execution hook (it
 	// never enters the digest): any scenario run through this manager —
 	// batch or streamed — reuses completed points from overlapping grids
-	// and contributes its own.
+	// and contributes its own. The replay-shards setting is the same kind
+	// of hook: pure scheduling, byte-identical results.
 	sc.PointCache = m.scenarioPointCache()
+	sc.ReplayShards = m.replayShards
 	return &sc, key, nil
 }
 
 // RunScenarioFile loads a scenario spec (the POST /v1/scenarios body,
 // unknown fields rejected) from path and executes it locally on a
-// one-off manager — the shared implementation of every CLI's -scenario
-// flag. A nil store serves app-mode scenarios only; passing a disk-tier
+// one-off manager built from opts — the shared implementation of every
+// CLI's -scenario flag. Only opts.Engine, opts.Store, and
+// opts.ReplayShards matter here (caches are disabled for a single local
+// run); a nil store serves app-mode scenarios only, while a disk-tier
 // store lets specs reference stored trace digests. Returns the decoded
 // result and the exact marshalled bytes the daemon would have served.
-func RunScenarioFile(ctx context.Context, path string, eng *engine.Engine, store *Store) (*core.ScenarioResult, []byte, error) {
-	req, mgr, err := loadScenarioFile(path, eng, store)
+func RunScenarioFile(ctx context.Context, path string, opts Options) (*core.ScenarioResult, []byte, error) {
+	req, mgr, err := loadScenarioFile(path, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -180,8 +183,8 @@ func RunScenarioFile(ctx context.Context, path string, eng *engine.Engine, store
 // to w incrementally — each grid point prints the moment it (and its
 // predecessors) finish, with final output byte-identical to printing
 // the batch result's Format. The CLIs' -scenario flags drive it.
-func StreamScenarioFile(ctx context.Context, path string, eng *engine.Engine, store *Store, w io.Writer) error {
-	req, mgr, err := loadScenarioFile(path, eng, store)
+func StreamScenarioFile(ctx context.Context, path string, opts Options, w io.Writer) error {
+	req, mgr, err := loadScenarioFile(path, opts)
 	if err != nil {
 		return err
 	}
@@ -197,7 +200,7 @@ func StreamScenarioFile(ctx context.Context, path string, eng *engine.Engine, st
 	if err != nil {
 		return err
 	}
-	_, err = core.RunScenarioStream(ctx, eng, *sc, p.Point)
+	_, err = core.RunScenarioStream(ctx, mgr.eng, *sc, p.Point)
 	return err
 }
 
@@ -205,7 +208,7 @@ func StreamScenarioFile(ctx context.Context, path string, eng *engine.Engine, st
 // rejected) and builds the one-off manager the CLIs run it on, with
 // both result caches disabled — a single local run has nothing to
 // resume.
-func loadScenarioFile(path string, eng *engine.Engine, store *Store) (ScenarioRequest, *Manager, error) {
+func loadScenarioFile(path string, opts Options) (ScenarioRequest, *Manager, error) {
 	var req ScenarioRequest
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -216,7 +219,9 @@ func loadScenarioFile(path string, eng *engine.Engine, store *Store) (ScenarioRe
 	if err := dec.Decode(&req); err != nil {
 		return req, nil, fmt.Errorf("service: scenario file %s: %w", path, err)
 	}
-	mgr, err := NewManager(Options{Engine: eng, Store: store, CacheEntries: -1, PointCacheEntries: -1})
+	opts.CacheEntries = -1
+	opts.PointCacheEntries = -1
+	mgr, err := NewManager(opts)
 	if err != nil {
 		return req, nil, err
 	}

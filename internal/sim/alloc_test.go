@@ -13,21 +13,6 @@ import (
 	"repro/internal/trace"
 )
 
-// allocRing builds the bench-shaped ring-exchange trace.
-func allocRing(n, iters int) *trace.Trace {
-	tr := trace.New("ring", "base", n)
-	for it := 0; it < iters; it++ {
-		for r := 0; r < n; r++ {
-			next := (r + 1) % n
-			prev := (r + n - 1) % n
-			tr.Append(r, trace.Record{Kind: trace.KindCompute, Instr: 100_000})
-			tr.Append(r, trace.Record{Kind: trace.KindISend, Peer: next, Tag: it, Bytes: 10_000})
-			tr.Append(r, trace.Record{Kind: trace.KindRecv, Peer: prev, Tag: it, Bytes: 10_000})
-		}
-	}
-	return tr
-}
-
 // pinReplayAllocs replays prog on a warm arena and fails if the replay
 // allocates more than maxPerReplay — the regression guard for the
 // zero-alloc property. The bound is a handful of allocations per *replay*
@@ -55,29 +40,6 @@ func pinReplayAllocs(t *testing.T, plat network.Platform, tr *trace.Trace, maxPe
 		t.Fatalf("warm arena replay allocates %.1f times per replay (%d records), want <= %g",
 			allocs, prog.Records(), maxPerReplay)
 	}
-}
-
-// allocHandleReuse builds a ring where every receive is an IRecv whose
-// single rank-local handle is legally reposted after each Wait, with a
-// WaitAll per iteration — the worst case for the active-handle lists
-// (one activation per IRecv, far more than distinct handles).
-func allocHandleReuse(n, iters int) *trace.Trace {
-	tr := trace.New("ring-irecv", "base", n)
-	for it := 0; it < iters; it++ {
-		for r := 0; r < n; r++ {
-			next := (r + 1) % n
-			prev := (r + n - 1) % n
-			tr.Append(r, trace.Record{Kind: trace.KindIRecv, Peer: prev, Tag: it, Bytes: 10_000, Handle: 1})
-			tr.Append(r, trace.Record{Kind: trace.KindCompute, Instr: 100_000})
-			tr.Append(r, trace.Record{Kind: trace.KindISend, Peer: next, Tag: it, Bytes: 10_000})
-			if it%2 == 0 {
-				tr.Append(r, trace.Record{Kind: trace.KindWait, Handle: 1})
-			} else {
-				tr.Append(r, trace.Record{Kind: trace.KindWaitAll})
-			}
-		}
-	}
-	return tr
 }
 
 func TestReplayAllocsFlat(t *testing.T) {
@@ -118,5 +80,31 @@ func TestPooledReplayAllocs(t *testing.T) {
 	})
 	if allocs > 2 {
 		t.Fatalf("pooled replay allocates %.1f times per point, want <= 2", allocs)
+	}
+}
+
+// TestReplayIntoAllocs pins the arena-aware copy-out: replaying into a
+// reused Result must not allocate once the destination has grown to the
+// program's high-water mark.
+func TestReplayIntoAllocs(t *testing.T) {
+	tr := allocRing(8, 20)
+	prog, err := Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := network.Testbed(8).Platform()
+	var dst Result
+	for i := 0; i < 3; i++ {
+		if _, err := ReplayInto(plat, prog, 1, &dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := ReplayInto(plat, prog, 1, &dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("copy-out replay allocates %.1f times per point, want <= 2", allocs)
 	}
 }

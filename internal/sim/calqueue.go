@@ -1,0 +1,249 @@
+package sim
+
+// Calendar event queue: the replay's priority queue, replacing the 4-ary
+// heap of the first compiled-replay engine. Events hash into time buckets
+// of a fixed width; each bucket stays sorted (descending by eventBefore),
+// so a pop inspects only the tail of the cursor's bucket instead of
+// sifting a heap. In the common regime — O(1) bucket occupancy — push and
+// pop are constant-time, and even the degenerate lockstep case (dozens of
+// same-time events in one bucket) costs one binary search plus a short
+// memmove per push instead of a full min-scan per pop.
+//
+// The queue is EXACT: pops follow the static eventBefore order bit-for-bit
+// no matter how the buckets are sized. Each event records its placement
+// year at push time — year = int(t/width), clamped up to the cursor (PDES
+// shards legally receive events "from the past", see pdes.go; they land in
+// the cursor's own year and are seen by the very next scan). Three
+// invariants follow:
+//
+//  1. Placement and qualification agree by construction: a scan at cursor
+//     c considers exactly the events whose recorded year is <= c, so float
+//     rounding can never disagree about a bucket boundary.
+//
+//  2. Resident events always have year >= cursor, and the cursor only
+//     advances past a year once no event of that year remains. Push keeps
+//     it true (clamp), pops preserve it.
+//
+//  3. Years never invert the event order: for resident events a and b
+//     with eventBefore(a, b), year(a) <= year(b). (If year(a) > year(b),
+//     a was clamped to a cursor beyond b's year while b was resident —
+//     contradicting invariant 2.) Hence popping by increasing year, and
+//     by eventBefore within a year, is the global eventBefore order — and
+//     a bucket's eventBefore-minimum (its sorted tail) is also its
+//     minimum year, so qualification checks the tail alone.
+//
+// When the cursor's year is empty the scan walks forward; if a full cycle
+// over the buckets finds nothing (the replay jumped a time gap larger
+// than the calendar), the scan jumps the cursor straight to the smallest
+// resident year — tracked during that same walk, so a gap costs one
+// bucket cycle, not a rebuild. Rebuilds (redistribute + re-derive the
+// width from the observed event-time span) happen only when the
+// population outgrows the bucket array.
+//
+// Buckets and their capacities persist across replays (reset only
+// truncates), so a warm arena's replay stays allocation-free.
+
+const (
+	cqMinWidth   = 1e-12   // keeps year = t/width far below int64 overflow for sane times
+	cqMaxBuckets = 1 << 14 // growth cap; beyond this occupancy grows linearly
+	cqGrowFactor = 4       // rebuild with 2x buckets when n exceeds cqGrowFactor*buckets
+	cqFarFuture  = 1 << 62 // year for times beyond integer range (defensive)
+)
+
+type eventQueue struct {
+	buckets [][]event // each sorted descending by eventBefore; min at the tail
+	mask    int       // len(buckets)-1; bucket count is a power of two
+	inv     float64   // 1/width
+	width   float64
+	cur     int64 // absolute (unwrapped) year of the scan cursor
+	n       int
+	scratch []event // rebuild staging, reused
+}
+
+// reset empties the queue, keeping every bucket's capacity. Width and
+// bucket count persist too: consecutive replays of the same program see
+// the same event-time distribution, so the steady state rebuilds nothing.
+func (q *eventQueue) reset() {
+	if q.buckets == nil {
+		q.buckets = make([][]event, 1)
+		q.mask = 0
+		q.width = 1
+		q.inv = 1
+	}
+	for i := range q.buckets {
+		q.buckets[i] = q.buckets[i][:0]
+	}
+	q.cur = 0
+	q.n = 0
+}
+
+func (q *eventQueue) len() int { return q.n }
+
+// yearOf maps a time to its virtual year, before cursor clamping.
+// Monotone in t.
+func (q *eventQueue) yearOf(t float64) int64 {
+	f := t * q.inv
+	if f >= cqFarFuture {
+		return cqFarFuture
+	}
+	return int64(f)
+}
+
+// insertSorted places e into a descending-sorted bucket: binary search for
+// the first resident ordering before e, shift, insert. eventBefore is a
+// total order over live events, so no equal-keys tie exists to break.
+func insertSorted(b []event, e event) []event {
+	lo, hi := 0, len(b)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if eventBefore(&b[mid], &e) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	b = append(b, event{})
+	copy(b[lo+1:], b[lo:])
+	b[lo] = e
+	return b
+}
+
+// push enqueues an event, recording its placement year.
+func (q *eventQueue) push(e event) {
+	y := q.yearOf(e.t)
+	if y < q.cur {
+		y = q.cur
+	}
+	e.year = y
+	slot := int(y) & q.mask
+	q.buckets[slot] = insertSorted(q.buckets[slot], e)
+	q.n++
+	if q.n > cqGrowFactor*len(q.buckets) && len(q.buckets) < cqMaxBuckets {
+		q.rebuild(len(q.buckets) * 2)
+	}
+}
+
+// scan advances the cursor to the first year holding an event and returns
+// its bucket slot; the slot's tail is the global eventBefore-minimum. The
+// queue must be non-empty.
+func (q *eventQueue) scan() int {
+	for {
+		minYear := int64(cqFarFuture + 1)
+		for cycle := 0; cycle <= q.mask; cycle++ {
+			s := int(q.cur) & q.mask
+			if b := q.buckets[s]; len(b) > 0 {
+				// The tail is the bucket's minimum event and (invariant 3)
+				// its minimum year.
+				if y := b[len(b)-1].year; y <= q.cur {
+					return s
+				} else if y < minYear {
+					minYear = y
+				}
+			}
+			q.cur++
+		}
+		// Full cycle without a hit: the population lies beyond a time gap
+		// wider than the calendar. Jump straight to its first year —
+		// tracked during the cycle above — and rescan (guaranteed hit).
+		q.cur = minYear
+	}
+}
+
+// pop removes and returns the eventBefore-minimum event. The queue must
+// be non-empty.
+func (q *eventQueue) pop() event {
+	slot := q.scan()
+	b := q.buckets[slot]
+	last := len(b) - 1
+	e := b[last]
+	q.buckets[slot] = b[:last]
+	q.n--
+	return e
+}
+
+// popBefore pops the minimum event only if it orders strictly before
+// bound (or unconditionally when hasBound is false). Used by PDES shards
+// to drain a conservative window without a separate peek.
+func (q *eventQueue) popBefore(bound *event, hasBound bool) (event, bool) {
+	if q.n == 0 {
+		return event{}, false
+	}
+	slot := q.scan()
+	b := q.buckets[slot]
+	last := len(b) - 1
+	if hasBound && !eventBefore(&b[last], bound) {
+		return event{}, false
+	}
+	e := b[last]
+	q.buckets[slot] = b[:last]
+	q.n--
+	return e, true
+}
+
+// peek returns the eventBefore-minimum event without removing it, and
+// false on an empty queue.
+func (q *eventQueue) peek() (event, bool) {
+	if q.n == 0 {
+		return event{}, false
+	}
+	b := q.buckets[q.scan()]
+	return b[len(b)-1], true
+}
+
+// rebuild redistributes every event over nb buckets (a power of two),
+// recomputing the width from the observed event-time span and resetting
+// the cursor to the population's first year.
+func (q *eventQueue) rebuild(nb int) {
+	if cap(q.scratch) < q.n {
+		q.scratch = make([]event, 0, q.n+q.n/2)
+	}
+	q.scratch = q.scratch[:0]
+	minT, maxT := 0.0, 0.0
+	first := true
+	for i := range q.buckets {
+		for _, e := range q.buckets[i] {
+			if first {
+				minT, maxT = e.t, e.t
+				first = false
+			} else {
+				if e.t < minT {
+					minT = e.t
+				}
+				if e.t > maxT {
+					maxT = e.t
+				}
+			}
+			q.scratch = append(q.scratch, e)
+		}
+		q.buckets[i] = q.buckets[i][:0]
+	}
+	if nb > len(q.buckets) {
+		grown := make([][]event, nb)
+		copy(grown, q.buckets)
+		q.buckets = grown
+	}
+	q.mask = nb - 1
+	// Width targets O(1) occupancy: the span spread over ~n buckets. A
+	// degenerate span (all events at one instant) keeps the old width.
+	if span := maxT - minT; span > 0 && q.n > 0 {
+		w := span / float64(q.n)
+		if w < cqMinWidth {
+			w = cqMinWidth
+		}
+		q.width = w
+		q.inv = 1 / w
+	}
+	q.cur = 0
+	if q.n > 0 {
+		q.cur = q.yearOf(minT)
+	}
+	for _, e := range q.scratch {
+		y := q.yearOf(e.t)
+		if y < q.cur {
+			y = q.cur
+		}
+		e.year = y
+		slot := int(y) & q.mask
+		q.buckets[slot] = insertSorted(q.buckets[slot], e)
+	}
+}

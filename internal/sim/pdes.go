@@ -1,0 +1,319 @@
+package sim
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"repro/internal/network"
+)
+
+// Conservative parallel replay (PDES) over compiled programs.
+//
+// The platform's hierarchy induces a natural partition of the replay
+// state: ranks that share a node interact through intra-node streams and
+// node-local state only, while every interaction that crosses nodes goes
+// through the interconnect's shared resources (global buses, NIC ports,
+// the in-flight congestion counter). RunProgramShards exploits that
+// partition: nodes are grouped into shards, each shard owns its nodes'
+// ranks, intra-node streams, and timeline buffers, and a coordinator owns
+// everything inter-node.
+//
+// Execution alternates two phases over the shared static event order of
+// eventBefore (sim.go):
+//
+//   - parallel phase: every shard concurrently drains its local queue of
+//     events ordering strictly before the coordinator's queue head (the
+//     conservative window). A rank walk that reaches an inter-node
+//     instruction parks and emits its continuation to the shard outbox.
+//   - serial phase: the coordinator drains global events while its head
+//     orders before every shard's local head, executing inter-node
+//     transfers and any rank walks it unblocks inline.
+//
+// The two bounds make the schedule conservative: a shard never runs ahead
+// of a global event that could wake one of its ranks, and the coordinator
+// never runs ahead of a shard that could hand it new inter-node work.
+// Cross-phase effects land only on parked ranks (a blocked rank has no
+// queued continuation), every handler works from event-local times
+// instead of a global clock, and comm records write to compile-time slots
+// — which together make the sharded replay byte-identical to the serial
+// one. The one model feature that breaks the partition is a *finite*
+// intra-node bus pool (its calendar is order-sensitive across ranks of a
+// node and a coordinator-resumed rank may commit out of local key order),
+// so sharded replay requires IntraBuses == 0 — the shared-memory default
+// of every built-in platform — and falls back to serial otherwise.
+
+// shard is one owner of the sharded replay: a slice of nodes with a local
+// event queue. The coordinator is a distinguished shard with id -1 that
+// uses the arena's own queue.
+type shard struct {
+	id     int32
+	q      eventQueue
+	outbox []event       // events emitted during a parallel phase for other owners
+	work   chan struct{} // round signal; closed to stop the worker
+}
+
+// pdesState is the arena's sharded-replay machinery, reused across
+// replays like every other arena buffer.
+type pdesState struct {
+	shards      []shard
+	coord       shard
+	rankShard   []int32 // rank -> owning shard
+	streamShard []int32 // stream -> owning shard, -1 for inter-node (coordinator)
+	wg          sync.WaitGroup
+	bound       event // parallel-phase window bound (the global queue head)
+	hasBound    bool
+}
+
+// route delivers a freshly scheduled event to its owner's queue. Shards
+// push their own events locally and emit everything else to their outbox
+// (drained by the coordinator at the phase barrier); the coordinator
+// pushes global events to the arena queue and shard events straight into
+// the — parked — shard's queue.
+func (sh *shard) route(a *ReplayArena, e event) {
+	owner := a.eventOwner(&e)
+	if sh.id >= 0 {
+		if owner == sh.id {
+			sh.q.push(e)
+		} else {
+			sh.outbox = append(sh.outbox, e)
+		}
+		return
+	}
+	if owner < 0 {
+		a.evq.push(e)
+	} else {
+		a.pdes.shards[owner].q.push(e)
+	}
+}
+
+// eventOwner classifies an event: the shard that must execute it, or -1
+// for the coordinator. Arrivals belong to their stream's owner. Rank
+// continuations belong to the rank's shard unless the instruction they
+// resume at crosses the interconnect. The classification is stable
+// between scheduling and execution: a parked rank's pc only moves when
+// its one continuation runs.
+func (a *ReplayArena) eventOwner(e *event) int32 {
+	pd := &a.pdes
+	if e.kind == evArrive {
+		return pd.streamShard[e.a]
+	}
+	rank := e.a
+	pc := int(a.ranks[rank].pc)
+	if e.kind == evSendResume {
+		pc++ // the resume advances past the parked send record first
+	}
+	code := a.prog.code[rank]
+	if pc < len(code) {
+		if in := &code[pc]; in.stream >= 0 && pd.streamShard[in.stream] < 0 {
+			return -1
+		}
+	}
+	return pd.rankShard[rank]
+}
+
+// worker is a shard's goroutine: one conservative window per signal.
+func (sh *shard) worker(a *ReplayArena) {
+	pd := &a.pdes
+	for range sh.work {
+		for {
+			e, ok := sh.q.popBefore(&pd.bound, pd.hasBound)
+			if !ok {
+				break
+			}
+			a.dispatch(e, sh)
+		}
+		pd.wg.Done()
+	}
+}
+
+// EffectiveShards resolves a requested shard count against the platform
+// and program: the count actually used by RunProgramShards. requested 0
+// asks for an automatic choice (as many shards as nodes, capped by
+// GOMAXPROCS, only when the program has intra-node traffic to
+// parallelize); requested 1 — or any platform sharding cannot preserve
+// byte-identity on (fewer than two nodes, or a finite intra-node bus
+// pool) — resolves to 1, the serial path.
+func EffectiveShards(p network.Platform, prog *Program, requested int) int {
+	if requested == 1 || p.Nodes < 2 || p.IntraBuses != 0 || prog == nil {
+		return 1
+	}
+	n := requested
+	if n <= 0 {
+		if runtime.GOMAXPROCS(0) < 2 {
+			return 1
+		}
+		n = runtime.GOMAXPROCS(0)
+		// Sharding pays off only when rank walks stay inside their nodes;
+		// a program whose streams all cross the interconnect serializes
+		// on the coordinator anyway.
+		intra := 0
+		for i := range prog.streams {
+			si := &prog.streams[i]
+			if p.NodeOf(int(si.src)) == p.NodeOf(int(si.dst)) {
+				intra++
+			}
+		}
+		if intra == 0 {
+			return 1
+		}
+	}
+	if n > p.Nodes {
+		n = p.Nodes
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// RunProgramShards replays a compiled program on p across the given
+// number of shards. The result is byte-identical to RunProgram: shards
+// only change how the event order is executed, never the order itself.
+// shards == 0 picks an automatic count; any request the platform cannot
+// shard safely (see EffectiveShards) falls back to the serial replay.
+func (a *ReplayArena) RunProgramShards(p network.Platform, prog *Program, shards int) (*Result, error) {
+	if prog == nil {
+		return nil, errors.New("sim: nil program")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := EffectiveShards(p, prog, shards)
+	if n <= 1 {
+		return a.replay(p, prog)
+	}
+	return a.replayShards(p, prog, n)
+}
+
+// RunProgramShards replays a compiled program on p with a fresh arena
+// across the given number of shards; the result is owned by the caller.
+func RunProgramShards(p network.Platform, prog *Program, shards int) (*Result, error) {
+	return NewArena().RunProgramShards(p, prog, shards)
+}
+
+// replayShards is the sharded analogue of replay: same reset, same
+// events, same handlers — executed by n shard workers plus the
+// coordinator under the two conservative bounds.
+func (a *ReplayArena) replayShards(p network.Platform, prog *Program, n int) (*Result, error) {
+	if prog.numRanks > p.Processors {
+		return nil, errors.New("sim: trace has more ranks than the platform has processors")
+	}
+	a.reset(p, prog)
+	pd := &a.pdes
+	pd.start(a, n)
+	defer pd.stop()
+
+	for r := 0; r < prog.numRanks; r++ {
+		pd.coord.route(a, event{t: 0, kind: evAdvance, a: int32(r)})
+	}
+	for {
+		head, hasHead := a.evq.peek()
+		// Parallel phase: run when any shard holds an event inside the
+		// window.
+		run := false
+		for i := range pd.shards {
+			sh := &pd.shards[i]
+			if sh.q.len() == 0 {
+				continue
+			}
+			if hasHead {
+				if lh, ok := sh.q.peek(); ok && !eventBefore(&lh, &head) {
+					continue
+				}
+			}
+			run = true
+			break
+		}
+		if run {
+			pd.bound, pd.hasBound = head, hasHead
+			pd.wg.Add(len(pd.shards))
+			for i := range pd.shards {
+				pd.shards[i].work <- struct{}{}
+			}
+			pd.wg.Wait()
+			for i := range pd.shards {
+				sh := &pd.shards[i]
+				for _, e := range sh.outbox {
+					if owner := a.eventOwner(&e); owner < 0 {
+						a.evq.push(e)
+					} else {
+						pd.shards[owner].q.push(e)
+					}
+				}
+				sh.outbox = sh.outbox[:0]
+			}
+			continue
+		}
+		if a.evq.len() == 0 {
+			break // no shard work, no global work: the replay is done
+		}
+		// Serial phase: drain global events while the coordinator's head
+		// orders before every local head. Processing may push local
+		// events (waking a shard's rank), which tightens the bound and
+		// hands control back to the parallel phase.
+		for a.evq.len() > 0 {
+			gh, _ := a.evq.peek()
+			ahead := true
+			for i := range pd.shards {
+				if lh, ok := pd.shards[i].q.peek(); ok && eventBefore(&lh, &gh) {
+					ahead = false
+					break
+				}
+			}
+			if !ahead {
+				break
+			}
+			a.dispatch(a.evq.pop(), &pd.coord)
+		}
+	}
+	return a.finishReplay()
+}
+
+// start prepares the shard partition for one replay and launches the
+// workers. Nodes split into n contiguous blocks; every rank, intra-node
+// stream, and node-local pool follows its node's shard.
+func (pd *pdesState) start(a *ReplayArena, n int) {
+	prog, p := a.prog, a.plat
+	pd.rankShard = grow(pd.rankShard, prog.numRanks)
+	for r := 0; r < prog.numRanks; r++ {
+		pd.rankShard[r] = int32(a.nodeOf[r] * n / p.Nodes)
+	}
+	pd.streamShard = grow(pd.streamShard, len(prog.streams))
+	for i := range prog.streams {
+		si := &prog.streams[i]
+		if a.nodeOf[si.src] == a.nodeOf[si.dst] {
+			pd.streamShard[i] = pd.rankShard[si.src]
+		} else {
+			pd.streamShard[i] = -1
+		}
+	}
+	if len(pd.shards) != n {
+		pd.shards = make([]shard, n)
+		for i := range pd.shards {
+			pd.shards[i].id = int32(i)
+		}
+	}
+	pd.coord.id = -1
+	for i := range pd.shards {
+		sh := &pd.shards[i]
+		sh.q.reset()
+		sh.outbox = sh.outbox[:0]
+		sh.work = make(chan struct{})
+		go sh.worker(a)
+	}
+}
+
+// stop shuts the shard workers down after a replay.
+func (pd *pdesState) stop() {
+	for i := range pd.shards {
+		close(pd.shards[i].work)
+		pd.shards[i].work = nil
+	}
+}
+
+// shardable reports whether sharded replay can engage at all for the
+// platform — used by planners to decide before compiling anything.
+func Shardable(p network.Platform) bool {
+	return p.Nodes >= 2 && p.IntraBuses == 0
+}

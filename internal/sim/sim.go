@@ -22,9 +22,16 @@
 // Program (dense instructions, stream IDs and handle tables resolved ahead
 // of time — see program.go) and executes on a ReplayArena, which owns every
 // piece of mutable replay state and reuses it across replays. The event
-// queue is a hand-rolled 4-ary heap of small typed events (no closures, no
-// container/heap interface boxing), all matching state is slice-backed,
-// and the steady-state replay of a warm arena performs no heap allocation.
+// queue is a calendar queue of small typed events (see calqueue.go), all
+// matching state is slice-backed, and the steady-state replay of a warm
+// arena performs no heap allocation.
+//
+// Events execute in a static total order — (time, event class, ids), see
+// eventBefore — with no insertion sequence numbers, so any scheduler that
+// respects the order reproduces the replay bit-for-bit. That is the
+// foundation of the conservative parallel replay in pdes.go, which
+// partitions ranks over node shards and advances them concurrently inside
+// conservative windows of that same order.
 package sim
 
 import (
@@ -117,9 +124,28 @@ type Result struct {
 	// Intervals is the state timeline of every rank, sorted by rank then
 	// start time.
 	Intervals []Interval
-	// Comms lists every simulated transfer in send order.
+	// Comms lists every simulated transfer, grouped by stream (one
+	// (src,dst,tag,chunk) flow) in the program's stream order and by
+	// send sequence within a stream. Each send owns its slot at compile
+	// time, which is what lets serial and sharded replays fill the slice
+	// in different orders yet produce identical bytes.
 	Comms []Comm
 }
+
+// CloneInto deep-copies r into dst, reusing dst's slice capacity, and
+// returns dst. This is the arena-aware copy-out: replay on a pooled
+// arena, CloneInto a caller-owned Result, and the steady state allocates
+// nothing beyond dst's first growth to the program's high-water mark.
+func (r *Result) CloneInto(dst *Result) *Result {
+	dst.FinishSec = r.FinishSec
+	dst.Ranks = append(dst.Ranks[:0], r.Ranks...)
+	dst.Intervals = append(dst.Intervals[:0], r.Intervals...)
+	dst.Comms = append(dst.Comms[:0], r.Comms...)
+	return dst
+}
+
+// Clone returns a caller-owned deep copy of r.
+func (r *Result) Clone() *Result { return r.CloneInto(new(Result)) }
 
 // TotalWaitSec sums receive-wait time over all ranks.
 func (r *Result) TotalWaitSec() float64 {
@@ -188,9 +214,13 @@ var ErrNilTrace = errors.New("sim: nil trace")
 // ---------------------------------------------------------------------------
 // Event queue
 //
-// Events are small typed records — no closures — ordered by (time, insertion
-// seq) in a hand-rolled 4-ary heap. The comparator's seq tiebreak makes the
-// order total, so pop order is deterministic and independent of heap shape.
+// Events are small typed records — no closures — ordered by the static key
+// (time, class, a, b). The key depends only on the event's content, never on
+// insertion order: at most one rank continuation (evAdvance/evSendResume)
+// exists per rank at any moment, and an arrival is unique per (stream, send
+// seq), so the key is a total order. Any scheduler that respects it — the
+// serial loop or the sharded PDES loop in pdes.go — pops the same sequence,
+// which is what keeps parallel replay byte-identical to serial.
 
 // Event kinds.
 const (
@@ -205,16 +235,26 @@ const (
 
 type event struct {
 	t    float64
-	seq  int64
+	year int64 // calendar-queue placement year, owned by eventQueue.push
 	a, b int32
 	kind uint8
 }
 
+// eventBefore is the static total order: time, then rank continuations
+// before arrivals, then the id pair. Same-time continuations of distinct
+// ranks order by rank; same-time arrivals by (stream, seq).
 func eventBefore(x, y *event) bool {
 	if x.t != y.t {
 		return x.t < y.t
 	}
-	return x.seq < y.seq
+	xa, ya := x.kind == evArrive, y.kind == evArrive
+	if xa != ya {
+		return ya
+	}
+	if x.a != y.a {
+		return x.a < y.a
+	}
+	return x.b < y.b
 }
 
 // ---------------------------------------------------------------------------
@@ -337,7 +377,6 @@ type post struct {
 // backing arrays.
 type streamState struct {
 	arrivals []float64 // arrival time per send seq; NaN while in flight
-	commIdx  []int32   // Comms index per send seq; -1 until the send executes
 	matched  []bool    // per send seq
 	posts    []post    // grows to the stream's post count
 	nSends   int32
@@ -381,8 +420,12 @@ type rankState struct {
 	stats      RankStats
 	// Outstanding IRecv handles, densely indexed by the program's
 	// per-rank handle IDs. hTime is the completion time (NaN while
-	// incomplete), hActive whether the handle is posted and unwaited.
+	// incomplete), hArr the completing pair's arrival time (what decides
+	// whether a completion is already visible to a walk at a given clock
+	// — see the run-ahead notes in advance), hActive whether the handle
+	// is posted and unwaited.
 	hTime   []float64
+	hArr    []float64
 	hActive []bool
 	// active lists posted handle IDs for WaitAll's bulk clear; entries
 	// deactivated by a single Wait go stale and are skipped.
@@ -410,29 +453,31 @@ type ReplayArena struct {
 	prog   *Program
 	nodeOf []int
 
-	// Event queue (4-ary heap) and clock.
-	ev       []event
-	eseq     int64
+	// Event queue (calendar queue, see calqueue.go) and clock.
+	evq      eventQueue
 	now      float64
 	inFlight int // inter-node messages currently in the interconnect
 
+	// Sharded replay state (pdes.go); empty until RunProgramShards.
+	pdes pdesState
+
 	// Resource pools, rebuilt only when the platform shape changes.
-	poolNodes                          int
+	poolNodes                             int
 	poolBuses, poolIntra, poolIn, poolOut int
-	interRes                           resource
-	intraRes, inRes, outRes            []resource
-	interBuses                         *resource
-	intraBuses, nodeIn, nodeOut        []*resource
+	interRes                              resource
+	intraRes, inRes, outRes               []resource
+	interBuses                            *resource
+	intraBuses, nodeIn, nodeOut           []*resource
 
 	// Per-rank and per-stream state plus their backing arrays.
 	ranks       []rankState
 	streams     []streamState
 	arrivalsBuf []float64
-	commIdxBuf  []int32
 	matchedBuf  []bool
 	postsBuf    []post
 	pendBuf     []pendingTransfer
 	hTimeBuf    []float64
+	hArrBuf     []float64
 	hActiveBuf  []bool
 	activeBuf   []int32
 
@@ -567,44 +612,58 @@ func (a *ReplayArena) replay(p network.Platform, prog *Program) (*Result, error)
 	}
 	a.reset(p, prog)
 	for r := 0; r < prog.numRanks; r++ {
-		a.schedule(0, evAdvance, int32(r), 0)
+		a.sched(nil, 0, evAdvance, int32(r), 0)
 	}
-	for len(a.ev) > 0 {
-		e := a.pop()
+	for a.evq.len() > 0 {
+		e := a.evq.pop()
 		if e.t < a.now {
 			return nil, fmt.Errorf("sim: time ran backwards: %g < %g", e.t, a.now)
 		}
 		a.now = e.t
-		switch e.kind {
-		case evAdvance:
-			a.advance(&a.ranks[e.a])
-		case evSendResume:
-			rs := &a.ranks[e.a]
-			rs.blocked = blockNone
-			rs.pc++
-			a.advance(rs)
-		case evArrive:
-			st := &a.streams[e.a]
-			si := &prog.streams[e.a]
-			if a.nodeOf[si.src] != a.nodeOf[si.dst] {
-				a.inFlight--
-			}
-			st.arrivals[e.b] = e.t
-			if int(e.b) < len(st.posts) {
-				a.completePair(e.a, int(e.b))
-			}
-		}
+		a.dispatch(e, nil)
 	}
+	return a.finishReplay()
+}
+
+// finishReplay validates that every rank ran to completion and assembles
+// the result — the common tail of the serial and sharded replay loops.
+func (a *ReplayArena) finishReplay() (*Result, error) {
 	var blocked []string
 	for r := range a.ranks {
 		if rs := &a.ranks[r]; !rs.done {
-			blocked = append(blocked, blockedDesc(prog, r, int(rs.pc)))
+			blocked = append(blocked, blockedDesc(a.prog, r, int(rs.pc)))
 		}
 	}
 	if blocked != nil {
-		return nil, &DeadlockError{Trace: prog.name, Blocked: blocked}
+		return nil, &DeadlockError{Trace: a.prog.name, Blocked: blocked}
 	}
 	return a.assemble(), nil
+}
+
+// dispatch executes one popped event at its own timestamp. Handlers never
+// read the global clock — every time they need is the event's time or state
+// recorded alongside the match — so dispatch is valid from the serial loop
+// and from a PDES shard alike.
+func (a *ReplayArena) dispatch(e event, rt *shard) {
+	switch e.kind {
+	case evAdvance:
+		a.advance(&a.ranks[e.a], e.t, rt)
+	case evSendResume:
+		rs := &a.ranks[e.a]
+		rs.blocked = blockNone
+		rs.pc++
+		a.advance(rs, e.t, rt)
+	case evArrive:
+		st := &a.streams[e.a]
+		si := &a.prog.streams[e.a]
+		if a.nodeOf[si.src] != a.nodeOf[si.dst] {
+			a.inFlight--
+		}
+		st.arrivals[e.b] = e.t
+		if int(e.b) < len(st.posts) {
+			a.completePair(e.a, int(e.b), rt)
+		}
+	}
 }
 
 // blockedDesc renders one stalled rank for the deadlock report. A pc at or
@@ -651,8 +710,7 @@ func (a *ReplayArena) assemble() *Result {
 func (a *ReplayArena) reset(p network.Platform, prog *Program) {
 	a.plat = p
 	a.prog = prog
-	a.ev = a.ev[:0]
-	a.eseq = 0
+	a.evq.reset()
 	a.now = 0
 	a.inFlight = 0
 
@@ -664,11 +722,11 @@ func (a *ReplayArena) reset(p network.Platform, prog *Program) {
 
 	// Backing arrays for the match and handle state.
 	a.arrivalsBuf = grow(a.arrivalsBuf, prog.totalSends)
-	a.commIdxBuf = grow(a.commIdxBuf, prog.totalSends)
 	a.matchedBuf = grow(a.matchedBuf, prog.totalSends)
 	a.pendBuf = grow(a.pendBuf, prog.totalSends)
 	a.postsBuf = grow(a.postsBuf, prog.totalPosts)
 	a.hTimeBuf = grow(a.hTimeBuf, prog.totalHandles)
+	a.hArrBuf = grow(a.hArrBuf, prog.totalHandles)
 	a.hActiveBuf = grow(a.hActiveBuf, prog.totalHandles)
 	// Sized by IRecv records, not distinct handles: each legal repost of a
 	// handle after its Wait appends a fresh entry (stale ones are skipped
@@ -677,11 +735,11 @@ func (a *ReplayArena) reset(p network.Platform, prog *Program) {
 	nan := math.NaN()
 	for i := 0; i < prog.totalSends; i++ {
 		a.arrivalsBuf[i] = nan
-		a.commIdxBuf[i] = -1
 		a.matchedBuf[i] = false
 	}
 	for i := 0; i < prog.totalHandles; i++ {
 		a.hTimeBuf[i] = nan
+		a.hArrBuf[i] = nan
 		a.hActiveBuf[i] = false
 	}
 
@@ -693,7 +751,6 @@ func (a *ReplayArena) reset(p network.Platform, prog *Program) {
 		si := &prog.streams[i]
 		a.streams[i] = streamState{
 			arrivals: a.arrivalsBuf[si.sendOff : si.sendOff+si.sends],
-			commIdx:  a.commIdxBuf[si.sendOff : si.sendOff+si.sends],
 			matched:  a.matchedBuf[si.sendOff : si.sendOff+si.sends],
 			posts:    a.postsBuf[si.postOff : si.postOff : si.postOff+si.posts],
 			pendQ:    a.pendBuf[si.sendOff : si.sendOff : si.sendOff+si.sends],
@@ -711,16 +768,19 @@ func (a *ReplayArena) reset(p network.Platform, prog *Program) {
 		a.ranks[r] = rankState{
 			rank:    int32(r),
 			hTime:   a.hTimeBuf[off : off+n],
+			hArr:    a.hArrBuf[off : off+n],
 			hActive: a.hActiveBuf[off : off+n],
 			active:  a.activeBuf[irOff : irOff : irOff+prog.irecvs[r]],
 		}
 	}
 
-	// Output accumulators.
-	if cap(a.comms) < prog.totalSends {
-		a.comms = make([]Comm, 0, prog.totalSends)
-	}
-	a.comms = a.comms[:0]
+	// Output accumulators. Comms are slot-addressed: send seq n of stream s
+	// owns slot streams[s].sendOff+n, assigned at compile time, so every
+	// write lands at a statically known index no matter which order — or on
+	// which shard — the sends execute. Slots need no clearing: a replay
+	// only assembles a Result after every rank finished, which implies
+	// every send executed and wrote its slot.
+	a.comms = grow(a.comms, prog.totalSends)
 	if cap(a.rankIvs) < prog.numRanks {
 		a.rankIvs = append(a.rankIvs[:cap(a.rankIvs)], make([][]Interval, prog.numRanks-cap(a.rankIvs))...)
 	}
@@ -789,55 +849,18 @@ func grow[T any](s []T, n int) []T {
 }
 
 // ---------------------------------------------------------------------------
-// Event heap (4-ary, no interface boxing)
+// Event scheduling
 
-// schedule enqueues an event at time t.
-func (a *ReplayArena) schedule(t float64, kind uint8, x, y int32) {
-	a.eseq++
-	a.ev = append(a.ev, event{t: t, seq: a.eseq, kind: kind, a: x, b: y})
-	h := a.ev
-	i := len(h) - 1
-	for i > 0 {
-		parent := (i - 1) / 4
-		if !eventBefore(&h[i], &h[parent]) {
-			break
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
+// sched enqueues an event at time t. rt names the executing owner of a
+// sharded replay, which routes the event to the right queue (see pdes.go);
+// the serial loop passes nil and targets the arena's own queue.
+func (a *ReplayArena) sched(rt *shard, t float64, kind uint8, x, y int32) {
+	e := event{t: t, kind: kind, a: x, b: y}
+	if rt == nil {
+		a.evq.push(e)
+		return
 	}
-}
-
-// pop removes and returns the earliest event.
-func (a *ReplayArena) pop() event {
-	h := a.ev
-	top := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	h = h[:n]
-	a.ev = h
-	i := 0
-	for {
-		first := 4*i + 1
-		if first >= n {
-			break
-		}
-		best := first
-		last := first + 4
-		if last > n {
-			last = n
-		}
-		for c := first + 1; c < last; c++ {
-			if eventBefore(&h[c], &h[best]) {
-				best = c
-			}
-		}
-		if !eventBefore(&h[best], &h[i]) {
-			break
-		}
-		h[i], h[best] = h[best], h[i]
-		i = best
-	}
-	return top
+	rt.route(a, e)
 }
 
 // ---------------------------------------------------------------------------
@@ -852,9 +875,9 @@ func (a *ReplayArena) addInterval(rank int, start, end float64, st State) {
 
 // advance runs the rank's instruction stream from its program counter
 // until it blocks, needs to let simulated time pass, or finishes.
-func (a *ReplayArena) advance(rs *rankState) {
+func (a *ReplayArena) advance(rs *rankState, now float64, rt *shard) {
 	rank := int(rs.rank)
-	rs.clock = a.now
+	rs.clock = now
 	code := a.prog.code[rank]
 	for {
 		if int(rs.pc) >= len(code) {
@@ -863,6 +886,14 @@ func (a *ReplayArena) advance(rs *rankState) {
 			return
 		}
 		in := &code[rs.pc]
+		if rt != nil && rt.id >= 0 && in.stream >= 0 && a.pdes.streamShard[in.stream] < 0 {
+			// Shard mode: the next instruction touches an inter-node
+			// stream, which only the coordinator may execute. Park the
+			// walk here and hand the continuation over; the coordinator
+			// resumes it at the same clock in global key order.
+			a.sched(rt, rs.clock, evAdvance, int32(rank), 0)
+			return
+		}
 		switch in.op {
 		case trace.KindCompute:
 			d := a.plat.ComputeSec(in.arg)
@@ -873,10 +904,10 @@ func (a *ReplayArena) advance(rs *rankState) {
 			a.addInterval(rank, rs.clock, rs.clock+d, StateCompute)
 			rs.stats.ComputeSec += d
 			rs.pc++
-			a.schedule(rs.clock+d, evAdvance, int32(rank), 0)
+			a.sched(rt, rs.clock+d, evAdvance, int32(rank), 0)
 			return
 		case trace.KindSend, trace.KindISend:
-			if a.startSend(rs, rank, in, in.op == trace.KindSend) {
+			if a.startSend(rs, rank, in, in.op == trace.KindSend, rt) {
 				rs.pc++
 				continue
 			}
@@ -885,11 +916,24 @@ func (a *ReplayArena) advance(rs *rankState) {
 			st := &a.streams[in.stream]
 			seq := len(st.posts)
 			st.posts = append(st.posts, post{kind: postBlocking, t: rs.clock})
-			a.wakeRendezvous(in.stream, seq)
+			a.wakeRendezvous(in.stream, seq, rs.clock, rt)
 			if seq < len(st.arrivals) && !math.IsNaN(st.arrivals[seq]) {
-				a.completePair(in.stream, seq)
-				rs.pc++
-				continue
+				if st.arrivals[seq] < rs.clock {
+					// Serial-visible arrival (its event orders strictly
+					// before this walk): the message is already here, the
+					// receive completes at this clock with no wait.
+					a.completePair(in.stream, seq, rt)
+					rs.pc++
+					continue
+				}
+				// The arrival is stamped but its event time does not
+				// precede this walk — sharded run-ahead processed it out
+				// of walk order. Serial would block here and be woken by
+				// that arrival; replay that wake now with the same times.
+				rs.blocked = blockRecv
+				rs.blockStart = rs.clock
+				a.completePair(in.stream, seq, rt)
+				return
 			}
 			rs.blocked = blockRecv
 			rs.blockStart = rs.clock
@@ -899,9 +943,9 @@ func (a *ReplayArena) advance(rs *rankState) {
 			seq := len(st.posts)
 			st.posts = append(st.posts, post{kind: postNonBlocking, handle: in.handle, t: rs.clock})
 			rs.postHandle(in.handle)
-			a.wakeRendezvous(in.stream, seq)
+			a.wakeRendezvous(in.stream, seq, rs.clock, rt)
 			if seq < len(st.arrivals) && !math.IsNaN(st.arrivals[seq]) {
-				a.completePair(in.stream, seq)
+				a.completePair(in.stream, seq, rt)
 			}
 			rs.pc++
 			continue
@@ -911,18 +955,50 @@ func (a *ReplayArena) advance(rs *rankState) {
 				continue
 			}
 			if !math.IsNaN(rs.hTime[in.handle]) {
+				if rs.hArr[in.handle] < rs.clock {
+					// Serial-visible completion: no wait.
+					rs.hActive[in.handle] = false
+					rs.pc++
+					continue
+				}
+				// Completed by a run-ahead arrival whose event does not
+				// precede this walk: serial blocks here and that arrival
+				// wakes it. Replay the wake with the same times.
 				rs.hActive[in.handle] = false
-				rs.pc++
-				continue
+				rs.blockStart = rs.clock
+				a.wakeFromWait(rs, rank, rs.hTime[in.handle], rt)
+				return
 			}
 			rs.blocked = blockWait
 			rs.waitHandle = in.handle
 			rs.blockStart = rs.clock
 			return
 		case trace.KindWaitAll:
-			if rs.waitAllDone() {
-				rs.pc++
-				continue
+			if rs.incomplete == 0 {
+				// All handles complete; the barrier is visible only once
+				// every completing arrival precedes this walk. maxArr is
+				// the serial wake time otherwise: arrivals complete the
+				// pairs in event order, so the last one — the maximum —
+				// triggers the serial wake.
+				maxArr := math.Inf(-1)
+				for _, h := range rs.active {
+					// Skip entries gone stale through a single Wait.
+					if rs.hActive[h] && rs.hArr[h] > maxArr {
+						maxArr = rs.hArr[h]
+					}
+				}
+				if maxArr < rs.clock {
+					rs.waitAllDone()
+					rs.pc++
+					continue
+				}
+				for _, h := range rs.active {
+					rs.hActive[h] = false
+				}
+				rs.active = rs.active[:0]
+				rs.blockStart = rs.clock
+				a.wakeFromWait(rs, rank, maxArr, rt)
+				return
 			}
 			rs.blocked = blockWaitAll
 			rs.blockStart = rs.clock
@@ -947,10 +1023,12 @@ func (rs *rankState) postHandle(h int32) {
 			rs.incomplete++
 		}
 		rs.hTime[h] = math.NaN()
+		rs.hArr[h] = math.NaN()
 		return
 	}
 	rs.hActive[h] = true
 	rs.hTime[h] = math.NaN()
+	rs.hArr[h] = math.NaN()
 	rs.active = append(rs.active, h)
 	rs.incomplete++
 }
@@ -971,20 +1049,23 @@ func (rs *rankState) waitAllDone() bool {
 // startSend initiates the transfer for a send record. It returns true when
 // the rank may continue immediately (ISend, or zero-cost injection) and
 // false when the rank parked (blocking injection or rendezvous handshake).
-func (a *ReplayArena) startSend(rs *rankState, rank int, in *instr, blocking bool) bool {
+func (a *ReplayArena) startSend(rs *rankState, rank int, in *instr, blocking bool, rt *shard) bool {
 	st := &a.streams[in.stream]
 	seq := int(st.nSends)
 	st.nSends++
 	rs.stats.MsgsSent++
 	rs.stats.BytesSent += in.arg
-	commIdx := len(a.comms)
-	st.commIdx[seq] = int32(commIdx)
-	a.comms = append(a.comms, Comm{
+	// Send seq n of a stream owns the compile-time comm slot sendOff+n, so
+	// records land in their final position with no per-send allocation and
+	// no post-replay merge — and concurrent shards never contend for an
+	// append cursor.
+	commIdx := int(a.prog.streams[in.stream].sendOff) + seq
+	a.comms[commIdx] = Comm{
 		Src: rank, Dst: int(in.peer), Tag: int(in.tag), Chunk: int(in.chunk),
 		Bytes: in.arg, MsgID: in.msgID, SendT: rs.clock,
 		Intra:  a.nodeOf[rank] == a.nodeOf[in.peer],
 		StartT: math.NaN(), ArriveT: math.NaN(), MatchT: math.NaN(),
-	})
+	}
 	if !a.plat.Eager(in.arg) && seq >= len(st.posts) {
 		// Rendezvous: the matching receive is not posted yet.
 		st.pendQ = append(st.pendQ, pendingTransfer{
@@ -1002,7 +1083,7 @@ func (a *ReplayArena) startSend(rs *rankState, rank int, in *instr, blocking boo
 	// sender resumes immediately and the NIC performs the transfer in
 	// the background (the OS-bypass capability the paper assumes). Only
 	// rendezvous sends block the issuing rank.
-	a.launch(in.stream, seq, in.arg, rs.clock, commIdx)
+	a.launch(in.stream, seq, in.arg, rs.clock, commIdx, rt)
 	return true
 }
 
@@ -1022,7 +1103,7 @@ func (a *ReplayArena) startSend(rs *rankState, rank int, in *instr, blocking boo
 // size/bandwidth terms. This keeps the chunked traces from paying the
 // latency once per chunk in *occupancy* (they still pay it per chunk in
 // flight time).
-func (a *ReplayArena) launch(streamID int32, seq int, bytes int64, t float64, commIdx int) float64 {
+func (a *ReplayArena) launch(streamID int32, seq int, bytes int64, t float64, commIdx int, rt *shard) float64 {
 	si := &a.prog.streams[streamID]
 	src, dst := int(si.src), int(si.dst)
 	intra := a.nodeOf[src] == a.nodeOf[dst]
@@ -1077,14 +1158,14 @@ func (a *ReplayArena) launch(streamID int32, seq int, bytes int64, t float64, co
 	if !intra {
 		a.inFlight++
 	}
-	a.schedule(arrive, evArrive, streamID, int32(seq))
+	a.sched(rt, arrive, evArrive, streamID, int32(seq))
 	return start + ser
 }
 
 // wakeRendezvous starts any rendezvous transfer whose matching post just
 // appeared. Pending sends queue in strictly increasing seq order, so the
 // head of the queue is the only candidate for the new post.
-func (a *ReplayArena) wakeRendezvous(streamID int32, postSeq int) {
+func (a *ReplayArena) wakeRendezvous(streamID int32, postSeq int, now float64, rt *shard) {
 	st := &a.streams[streamID]
 	if int(st.pendHead) >= len(st.pendQ) {
 		return
@@ -1095,23 +1176,23 @@ func (a *ReplayArena) wakeRendezvous(streamID int32, postSeq int) {
 	}
 	st.pendHead++
 	start := pt.readyT
-	if a.now > start {
-		start = a.now
+	if now > start {
+		start = now
 	}
-	injectEnd := a.launch(streamID, int(pt.seq), pt.bytes, start, int(pt.commIdx))
+	injectEnd := a.launch(streamID, int(pt.seq), pt.bytes, start, int(pt.commIdx), rt)
 	if pt.blocking {
 		src := a.prog.streams[streamID].src
 		rs := &a.ranks[src]
 		a.addInterval(int(src), rs.blockStart, injectEnd, StateSendBlocked)
 		rs.stats.SendBlockedSec += injectEnd - rs.blockStart
-		a.schedule(injectEnd, evSendResume, src, 0)
+		a.sched(rt, injectEnd, evSendResume, src, 0)
 	}
 }
 
 // completePair finishes the match of pair seq of one stream: it stamps the
 // comm event, completes the receive (blocking or handle), and wakes the
 // destination rank if it was blocked on this completion.
-func (a *ReplayArena) completePair(streamID int32, seq int) {
+func (a *ReplayArena) completePair(streamID int32, seq int, rt *shard) {
 	st := &a.streams[streamID]
 	if seq >= len(st.matched) || st.matched[seq] {
 		return
@@ -1121,16 +1202,15 @@ func (a *ReplayArena) completePair(streamID int32, seq int) {
 	}
 	st.matched[seq] = true
 	p := st.posts[seq]
+	// The match time is max(arrival, post): whichever event of this call
+	// completed the pair happens at or before that maximum, so no clamp to
+	// the triggering event's time is needed — completion times are pure
+	// functions of the pair, independent of execution order.
 	done := st.arrivals[seq]
 	if p.t > done {
 		done = p.t
 	}
-	if a.now > done {
-		done = a.now
-	}
-	if ci := st.commIdx[seq]; ci >= 0 {
-		a.comms[ci].MatchT = done
-	}
+	a.comms[int(a.prog.streams[streamID].sendOff)+seq].MatchT = done
 	dst := int(a.prog.streams[streamID].dst)
 	rs := &a.ranks[dst]
 	switch p.kind {
@@ -1139,28 +1219,43 @@ func (a *ReplayArena) completePair(streamID int32, seq int) {
 			// The rank can only be blocked on the oldest unmatched
 			// blocking post, which is this one (a rank posts at most
 			// one blocking recv at a time).
-			a.wakeFromWait(rs, dst, done)
+			a.wakeFromWait(rs, dst, done, rt)
 		}
 	case postNonBlocking:
 		if rs.hActive[p.handle] && math.IsNaN(rs.hTime[p.handle]) {
 			rs.incomplete--
 		}
 		rs.hTime[p.handle] = done
+		rs.hArr[p.handle] = st.arrivals[seq]
 		switch rs.blocked {
 		case blockWait:
 			if rs.waitHandle == p.handle {
 				rs.hActive[p.handle] = false
-				a.wakeFromWait(rs, dst, done)
+				a.wakeFromWait(rs, dst, done, rt)
 			}
 		case blockWaitAll:
-			if rs.waitAllDone() {
-				a.wakeFromWait(rs, dst, done)
+			if rs.incomplete == 0 {
+				// The serial wake comes from the last completion in event
+				// order — the maximum arrival. A run-ahead shard may have
+				// completed a later-arriving pair before this one, so the
+				// triggering done alone is not enough.
+				wake := done
+				for _, h := range rs.active {
+					if rs.hActive[h] && rs.hArr[h] > wake {
+						wake = rs.hArr[h]
+					}
+				}
+				for _, h := range rs.active {
+					rs.hActive[h] = false
+				}
+				rs.active = rs.active[:0]
+				a.wakeFromWait(rs, dst, wake, rt)
 			}
 		}
 	}
 }
 
-func (a *ReplayArena) wakeFromWait(rs *rankState, rank int, done float64) {
+func (a *ReplayArena) wakeFromWait(rs *rankState, rank int, done float64, rt *shard) {
 	resume := done
 	if resume < rs.blockStart {
 		resume = rs.blockStart
@@ -1169,5 +1264,5 @@ func (a *ReplayArena) wakeFromWait(rs *rankState, rank int, done float64) {
 	rs.stats.WaitSec += resume - rs.blockStart
 	rs.blocked = blockNone
 	rs.pc++
-	a.schedule(resume, evAdvance, int32(rank), 0)
+	a.sched(rt, resume, evAdvance, int32(rank), 0)
 }
