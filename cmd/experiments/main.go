@@ -56,7 +56,9 @@ func main() {
 	workers := flag.Int("workers", 0, "experiment-engine worker pool size (0 = GOMAXPROCS)")
 	scenarioPath := flag.String("scenario", "", "run a declarative scenario spec (JSON, the POST /v1/scenarios schema) instead of the paper artifacts")
 	scenarioJSON := flag.Bool("scenario-json", false, "with -scenario, print the raw result JSON instead of the point table")
+	tm := platformflag.RegisterTimings(flag.CommandLine)
 	flag.Parse()
+	defer tm.MaybeDump(os.Stderr)
 
 	if *scenarioPath != "" {
 		if *scenarioJSON {

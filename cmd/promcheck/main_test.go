@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+const page = `# HELP jobs_total jobs
+# TYPE jobs_total counter
+jobs_total 12
+# HELP req_total requests
+# TYPE req_total counter
+req_total{code="200",endpoint="POST /v1/scenarios"} 5
+req_total{code="429",endpoint="POST /v1/scenarios"} 2
+`
+
+func TestCheckAssertions(t *testing.T) {
+	pm, err := telemetry.ParseMetrics(strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := []string{
+		"jobs_total==12",
+		"jobs_total>=12",
+		"jobs_total>11",
+		"jobs_total<13",
+		"jobs_total!=11",
+		"req_total==7", // bare family name sums the labelled samples
+		`req_total{code="200",endpoint="POST /v1/scenarios"}==5`,
+		`req_total{code="429",endpoint="POST /v1/scenarios"}<=2`,
+	}
+	for _, a := range pass {
+		if err := check(pm, a); err != nil {
+			t.Errorf("%s unexpectedly failed: %v", a, err)
+		}
+	}
+	fail := []string{
+		"jobs_total==11",
+		"jobs_total<12",
+		"missing_total>=0", // absent samples fail, they are not zero
+		"jobs_total~12",    // unknown operator
+		"jobs_total>=x",    // malformed number
+	}
+	for _, a := range fail {
+		if err := check(pm, a); err == nil {
+			t.Errorf("%s unexpectedly passed", a)
+		}
+	}
+}

@@ -22,7 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/platformflag"
 	"repro/internal/service"
 )
 
@@ -45,7 +46,22 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling; leave off in untrusted networks)")
 	scenarioPath := flag.String("scenario", "", "one-shot mode: run a scenario spec (JSON, the POST /v1/scenarios schema) against -store-dir, stream the point table, and exit without serving")
 	scenarioJSON := flag.Bool("scenario-json", false, "with -scenario, print the raw result JSON instead of the streamed point table")
+	logFormat := flag.String("log-format", "text", "structured log format: text|json")
+	tm := platformflag.RegisterTimings(flag.CommandLine)
 	flag.Parse()
+
+	var handlerOpts slog.Handler
+	switch *logFormat {
+	case "text":
+		handlerOpts = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handlerOpts = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "simd: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handlerOpts)
+	slog.SetDefault(logger)
 
 	store, err := service.NewStore(*storeDir)
 	if err != nil {
@@ -56,21 +72,25 @@ func main() {
 		// One-shot: the same spec POST /v1/scenarios accepts, executed on
 		// this process's store and engine. The default table streams —
 		// each point prints as it finishes; -scenario-json prints the
-		// batch JSON instead.
+		// batch JSON instead. -timings appends the per-stage telemetry
+		// summary to stderr.
+		opts := service.Options{Engine: engine.New(*workers), Store: store, ReplayShards: *replayShards, Logger: logger}
 		if *scenarioJSON {
-			_, raw, err := service.RunScenarioFile(context.Background(), *scenarioPath, service.Options{Engine: engine.New(*workers), Store: store, ReplayShards: *replayShards})
+			_, raw, err := service.RunScenarioFile(context.Background(), *scenarioPath, opts)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "simd: %v\n", err)
 				os.Exit(1)
 			}
 			os.Stdout.Write(raw)
 			fmt.Println()
+			tm.MaybeDump(os.Stderr)
 			return
 		}
-		if err := service.StreamScenarioFile(context.Background(), *scenarioPath, service.Options{Engine: engine.New(*workers), Store: store, ReplayShards: *replayShards}, os.Stdout); err != nil {
+		if err := service.StreamScenarioFile(context.Background(), *scenarioPath, opts, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "simd: %v\n", err)
 			os.Exit(1)
 		}
+		tm.MaybeDump(os.Stderr)
 		return
 	}
 	// The flags' 0 means "disabled"/"unbounded"; Options reserves 0 for
@@ -95,6 +115,7 @@ func main() {
 		QueueDepth:        queue,
 		PointCacheEntries: points,
 		ReplayShards:      *replayShards,
+		Logger:            logger,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
@@ -125,17 +146,21 @@ func main() {
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		log.Printf("simd: shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
 	}()
 
-	tier := "memory-only store"
+	tier := "memory"
 	if *storeDir != "" {
-		tier = "store dir " + *storeDir
+		tier = *storeDir
 	}
-	log.Printf("simd: listening on %s (%d workers, %d cache entries, %s)", *addr, eng.Workers(), *cacheEntries, tier)
+	logger.Info("listening",
+		slog.String("addr", *addr),
+		slog.Int("workers", eng.Workers()),
+		slog.Int("cache_entries", *cacheEntries),
+		slog.String("store", tier))
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
 		os.Exit(1)

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/sim"
@@ -44,22 +45,30 @@ func (e *streamEmitter) advance() error {
 		}
 		p := e.next
 		if c := e.cached[p]; c != nil {
+			t0 := time.Now()
 			if err := e.yield(*c); err != nil {
 				return err
 			}
+			mStageEmit.ObserveSince(t0)
+			mPtsCached.Inc()
 			e.next++
 			continue
 		}
+		t0 := time.Now()
 		pt, ok := e.build(p)
 		if !ok {
 			return nil
 		}
+		mStageCopyout.ObserveSince(t0)
 		if e.sc.PointCache != nil {
 			e.sc.PointCache.PutPoint(e.digests[p], pt)
 		}
+		t0 = time.Now()
 		if err := e.yield(pt); err != nil {
 			return err
 		}
+		mStageEmit.ObserveSince(t0)
+		mPtsComputed.Inc()
 		e.next++
 	}
 	return nil
@@ -191,14 +200,18 @@ func RunScenarioStream(ctx context.Context, eng *engine.Engine, spec Scenario, y
 		}
 		err = engine.MapStream(ctx, eng, len(jobs), 0, func(ctx context.Context, j int) (FlavorMeasure, error) {
 			pt, f := jobs[j].pt, jobs[j].f
+			t0 := time.Now()
 			prog, digest, err := x.progFor(pt.ranks, pt.chunks, f)
 			if err != nil {
 				return FlavorMeasure{}, err
 			}
+			mStageCompile.ObserveSince(t0)
+			t0 = time.Now()
 			sum, err := sim.ReplayShardsSummary(pt.plat, prog, shards)
 			if err != nil {
 				return FlavorMeasure{}, fmt.Errorf("core: scenario point %v %s: %w", pt.coords, f, err)
 			}
+			mStageReplay.ObserveSince(t0)
 			m := FlavorMeasure{Flavor: f, TraceDigest: digest, FinishSec: sum.FinishSec}
 			if sc.Output == OutputTraffic {
 				m.Traffic = &WireTraffic{
@@ -219,14 +232,18 @@ func RunScenarioStream(ctx context.Context, eng *engine.Engine, spec Scenario, y
 		}
 	case OutputWhatIf:
 		err = streamPerPoint(ctx, eng, em, func(ctx context.Context, pt gridPoint) (ScenarioPoint, error) {
+			t0 := time.Now()
 			run, err := x.runAt(pt)
 			if err != nil {
 				return ScenarioPoint{}, err
 			}
+			mStageCompile.ObserveSince(t0)
+			t0 = time.Now()
 			wi, err := WhatIfRunOn(ctx, eng, run, pt.plat)
 			if err != nil {
 				return ScenarioPoint{}, err
 			}
+			mStageReplay.ObserveSince(t0)
 			pd, err := pt.plat.Digest()
 			if err != nil {
 				return ScenarioPoint{}, err
@@ -238,14 +255,18 @@ func RunScenarioStream(ctx context.Context, eng *engine.Engine, spec Scenario, y
 		}
 	case OutputReport:
 		err = streamPerPoint(ctx, eng, em, func(ctx context.Context, pt gridPoint) (ScenarioPoint, error) {
+			t0 := time.Now()
 			run, err := x.runAt(pt)
 			if err != nil {
 				return ScenarioPoint{}, err
 			}
+			mStageCompile.ObserveSince(t0)
+			t0 = time.Now()
 			rep, err := AnalyzeRunOn(ctx, eng, run, pt.plat)
 			if err != nil {
 				return ScenarioPoint{}, err
 			}
+			mStageReplay.ObserveSince(t0)
 			wire, err := rep.Wire()
 			if err != nil {
 				return ScenarioPoint{}, err

@@ -1,0 +1,20 @@
+package core
+
+import "repro/internal/telemetry"
+
+// Per-point stage timings of the scenario stream. Four stages cover a
+// point's life: compile (trace -> sim.Program, memo hits included, so
+// the histogram shows the amortization), replay (the simulation itself —
+// the whole analysis for whatif/report outputs), copyout (assembling the
+// wire-format point from arena-backed measurements), and emit (the
+// consumer's yield — an NDJSON encoder, a table printer, a cache fill).
+var (
+	scenarioStage  = telemetry.Default().HistogramVec("scenario_stage_seconds", "per-point stage timings of the scenario stream", 1e-9, "stage")
+	mStageCompile  = scenarioStage.With("compile")
+	mStageReplay   = scenarioStage.With("replay")
+	mStageCopyout  = scenarioStage.With("copyout")
+	mStageEmit     = scenarioStage.With("emit")
+	scenarioPoints = telemetry.Default().CounterVec("scenario_points_total", "scenario grid points emitted, by origin", "source")
+	mPtsComputed   = scenarioPoints.With("computed")
+	mPtsCached     = scenarioPoints.With("cached")
+)

@@ -36,6 +36,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Engine is a bounded worker pool plus a shared trace cache. The zero
@@ -49,7 +52,11 @@ type Engine struct {
 	started   atomic.Uint64
 	completed atomic.Uint64
 	failed    atomic.Uint64
-	observer  atomic.Pointer[JobObserver]
+
+	// Observer chain: a copy-on-write list so notification is a single
+	// atomic load on the job hot path while installs stay rare and cheap.
+	obsMu     sync.Mutex
+	observers atomic.Pointer[[]*obsEntry]
 }
 
 // New returns an engine running at most workers jobs concurrently.
@@ -98,44 +105,112 @@ func (e *Engine) Stats() Stats {
 
 // JobEvent is one job lifecycle notification: Done=false when the job
 // starts executing, Done=true (with its error, if any) when it finishes.
+// Wait is the delay between the job's submission and its execution
+// start; Elapsed is the execution duration (set only on Done events).
 type JobEvent struct {
-	Index int
-	Done  bool
-	Err   error
+	Index   int
+	Done    bool
+	Err     error
+	Wait    time.Duration
+	Elapsed time.Duration
 }
 
 // JobObserver receives job lifecycle events. Observers run inline on the
 // executing goroutine and must be fast and safe for concurrent calls.
 type JobObserver func(JobEvent)
 
-// SetObserver installs fn as the engine's job lifecycle hook (nil removes
-// it). At most one observer is active; later calls replace earlier ones.
+// obsEntry wraps an observer so removal can match by identity (func
+// values are not comparable).
+type obsEntry struct{ fn JobObserver }
+
+// SetObserver replaces the engine's whole observer set with fn (nil
+// clears it) — the legacy single-hook semantics. To compose with hooks
+// installed by other layers, use AddObserver instead.
 func (e *Engine) SetObserver(fn JobObserver) {
+	e.obsMu.Lock()
+	defer e.obsMu.Unlock()
 	if fn == nil {
-		e.observer.Store(nil)
+		e.observers.Store(nil)
 		return
 	}
-	e.observer.Store(&fn)
+	list := []*obsEntry{{fn: fn}}
+	e.observers.Store(&list)
+}
+
+// AddObserver appends fn to the engine's observer chain — every
+// observer sees every event — and returns a function that removes
+// exactly this registration. Unlike SetObserver it never evicts hooks
+// installed by other layers.
+func (e *Engine) AddObserver(fn JobObserver) (remove func()) {
+	entry := &obsEntry{fn: fn}
+	e.obsMu.Lock()
+	var next []*obsEntry
+	if cur := e.observers.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, entry)
+	e.observers.Store(&next)
+	e.obsMu.Unlock()
+	return func() {
+		e.obsMu.Lock()
+		defer e.obsMu.Unlock()
+		cur := e.observers.Load()
+		if cur == nil {
+			return
+		}
+		var rest []*obsEntry
+		for _, o := range *cur {
+			if o != entry {
+				rest = append(rest, o)
+			}
+		}
+		if rest == nil {
+			e.observers.Store(nil)
+			return
+		}
+		e.observers.Store(&rest)
+	}
+}
+
+// notify publishes ev to every observer in installation order.
+func (e *Engine) notify(ev JobEvent) {
+	if list := e.observers.Load(); list != nil {
+		for _, o := range *list {
+			o.fn(ev)
+		}
+	}
 }
 
 // noteStart records (and publishes) the start of one job.
-func (e *Engine) noteStart(i int) {
+func (e *Engine) noteStart(i int, wait time.Duration) {
 	e.started.Add(1)
-	if obs := e.observer.Load(); obs != nil {
-		(*obs)(JobEvent{Index: i})
-	}
+	mJobsStarted.Inc()
+	mJobWait.Observe(wait.Nanoseconds())
+	e.notify(JobEvent{Index: i, Wait: wait})
 }
 
 // noteDone records (and publishes) the completion of one job.
-func (e *Engine) noteDone(i int, err error) {
+func (e *Engine) noteDone(i int, err error, wait, elapsed time.Duration) {
 	if err != nil {
 		e.failed.Add(1)
+		mJobsFailed.Inc()
 	}
 	e.completed.Add(1)
-	if obs := e.observer.Load(); obs != nil {
-		(*obs)(JobEvent{Index: i, Done: true, Err: err})
-	}
+	mJobsCompleted.Inc()
+	mJobSeconds.Observe(elapsed.Nanoseconds())
+	e.notify(JobEvent{Index: i, Done: true, Err: err, Wait: wait, Elapsed: elapsed})
 }
+
+// Process-wide engine instruments: all engines in the process accumulate
+// into one family (the serving daemon runs exactly one engine; tests
+// sharing the registry only ever assert deltas they caused themselves).
+var (
+	mJobsStarted   = telemetry.Default().Counter("engine_jobs_started_total", "jobs started by the worker pool")
+	mJobsCompleted = telemetry.Default().Counter("engine_jobs_completed_total", "jobs finished, including failed ones")
+	mJobsFailed    = telemetry.Default().Counter("engine_jobs_failed_total", "jobs finished with an error")
+	mJobWait       = telemetry.Default().Histogram("engine_job_wait_seconds", "delay between job submission and execution start", 1e-9)
+	mJobSeconds    = telemetry.Default().Histogram("engine_job_seconds", "job execution duration", 1e-9)
+)
 
 var (
 	defaultOnce   sync.Once
@@ -214,17 +289,20 @@ func Map[T any](ctx context.Context, e *Engine, n int, fn func(ctx context.Conte
 			cancelFrom(errs, i, ctx)
 			break
 		}
+		submit := time.Now()
 		select {
 		case e.sem <- struct{}{}:
 			wg.Add(1)
-			go func(i int) {
+			// submit travels as a parameter, like i: capturing it in the
+			// closure would heap-allocate one escape per pooled job.
+			go func(i int, submit time.Time) {
 				defer wg.Done()
 				defer func() { <-e.sem }()
-				out[i], errs[i] = runJob(e, ctx, i, fn)
-			}(i)
+				out[i], errs[i] = runJob(e, ctx, i, submit, fn)
+			}(i, submit)
 		default:
 			// Pool saturated: the submitter works instead of waiting.
-			out[i], errs[i] = runJob(e, ctx, i, fn)
+			out[i], errs[i] = runJob(e, ctx, i, submit, fn)
 		}
 	}
 	wg.Wait()
@@ -239,13 +317,15 @@ func ForEach(ctx context.Context, e *Engine, n int, fn func(ctx context.Context,
 	return err
 }
 
-func runJob[T any](e *Engine, ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (out T, err error) {
-	e.noteStart(i)
+func runJob[T any](e *Engine, ctx context.Context, i int, submit time.Time, fn func(ctx context.Context, i int) (T, error)) (out T, err error) {
+	start := time.Now()
+	wait := start.Sub(submit)
+	e.noteStart(i, wait)
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("engine: job %d panicked: %v", i, r)
 		}
-		e.noteDone(i, err)
+		e.noteDone(i, err, wait, time.Since(start))
 	}()
 	return fn(ctx, i)
 }

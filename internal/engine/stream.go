@@ -1,6 +1,9 @@
 package engine
 
-import "context"
+import (
+	"context"
+	"time"
+)
 
 // streamItem is one completed job travelling from a worker to the
 // reordering consumer.
@@ -65,16 +68,17 @@ func MapStream[T any](ctx context.Context, e *Engine, n, window int, fn func(ctx
 				return
 			}
 			submitted++
+			submit := time.Now()
 			select {
 			case e.sem <- struct{}{}:
-				go func(i int) {
+				go func(i int, submit time.Time) {
 					defer func() { <-e.sem }()
-					v, err := runJob(e, cctx, i, fn)
+					v, err := runJob(e, cctx, i, submit, fn)
 					results <- streamItem[T]{i: i, val: v, err: err}
-				}(i)
+				}(i, submit)
 			default:
 				// Pool saturated: the submitter works instead of waiting.
-				v, err := runJob(e, cctx, i, fn)
+				v, err := runJob(e, cctx, i, submit, fn)
 				results <- streamItem[T]{i: i, val: v, err: err}
 			}
 		}

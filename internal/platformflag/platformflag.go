@@ -21,6 +21,7 @@ import (
 	"io"
 
 	"repro/internal/network"
+	"repro/internal/telemetry"
 )
 
 // Flags holds the registered flag values until Resolve.
@@ -105,6 +106,31 @@ func (f *Flags) Resolve(app string, ranks int) (network.Platform, error) {
 		return network.Platform{}, err
 	}
 	return plat, nil
+}
+
+// Timings is the shared -timings flag: every CLI that runs simulations
+// spells the per-stage telemetry summary the same way.
+type Timings struct {
+	on *bool
+}
+
+// RegisterTimings declares the shared -timings flag on fs.
+func RegisterTimings(fs *flag.FlagSet) *Timings {
+	return &Timings{
+		on: fs.Bool("timings", false, "after the run, print a per-stage telemetry timing summary (compile/replay/copyout/emit, engine queue waits, PDES phases) to stderr"),
+	}
+}
+
+// Enabled reports whether -timings was set.
+func (t *Timings) Enabled() bool { return *t.on }
+
+// MaybeDump writes the process's telemetry timing summary to w when
+// -timings was set; otherwise it does nothing. Call it once, after the
+// run's work is finished.
+func (t *Timings) MaybeDump(w io.Writer) {
+	if *t.on {
+		telemetry.WriteTimings(w, telemetry.Default())
+	}
 }
 
 // DumpRequested reports whether -dump-platform was set; mains that see

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -105,6 +106,33 @@ func (c *Client) Platforms(ctx context.Context) ([]service.PlatformInfo, error) 
 	var list []service.PlatformInfo
 	err := c.do(ctx, http.MethodGet, "/v1/platforms", nil, "", &list)
 	return list, err
+}
+
+// MetricsText fetches the raw Prometheus text-format /metrics body.
+func (c *Client) MetricsText(ctx context.Context) ([]byte, error) {
+	var raw []byte
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, "", &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// Metrics fetches /metrics and parses it into sample values keyed by
+// canonical sample name (`name` or `name{k="v",...}`).
+func (c *Client) Metrics(ctx context.Context) (telemetry.ParsedMetrics, error) {
+	raw, err := c.MetricsText(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return telemetry.ParseMetrics(bytes.NewReader(raw))
+}
+
+// Telemetry fetches the daemon's full instrument snapshot
+// (GET /v1/debug/telemetry).
+func (c *Client) Telemetry(ctx context.Context) (telemetry.Snapshot, error) {
+	var snap telemetry.Snapshot
+	err := c.do(ctx, http.MethodGet, "/v1/debug/telemetry", nil, "", &snap)
+	return snap, err
 }
 
 // UploadTrace stores a trace in the daemon's content-addressed store and

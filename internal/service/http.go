@@ -4,17 +4,16 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
-	"expvar"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/apps"
 	"repro/internal/network"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -50,32 +49,12 @@ type Health struct {
 	Workers   int     `json:"workers"`
 }
 
-// expvar integration: /metrics serves the process-wide expvar page, and
-// the "service" variable on it reads the handler most recently built —
-// the one the daemon runs. Publishing is global and once-only, so tests
-// building many handlers neither panic nor leak variables.
-var (
-	metricsOnce   sync.Once
-	activeManager atomic.Pointer[Manager]
-)
-
-func publishMetrics(m *Manager) {
-	activeManager.Store(m)
-	metricsOnce.Do(func() {
-		expvar.Publish("service", expvar.Func(func() any {
-			mgr := activeManager.Load()
-			if mgr == nil {
-				return nil
-			}
-			return mgr.MetricsSnapshot()
-		}))
-	})
-}
-
 // NewHandler builds the daemon's HTTP API around a manager. The routes:
 //
 //	GET    /healthz              liveness + uptime
-//	GET    /metrics              expvar (includes the "service" counters)
+//	GET    /metrics              Prometheus text format (engine, service,
+//	                             scenario-stage, and replay/PDES families)
+//	GET    /v1/debug/telemetry   the same instruments as deterministic JSON
 //	GET    /v1/apps              application catalog
 //	GET    /v1/platforms         platform preset catalog
 //	POST   /v1/traces            upload a trace (text or binary codec)
@@ -117,7 +96,11 @@ func NewHandler(m *Manager) http.Handler {
 			Workers:   m.eng.Workers(),
 		})
 	})
-	mux.Handle("GET /metrics", expvar.Handler())
+	mux.Handle("GET /metrics", telemetry.Handler(telemetry.Default()))
+
+	mux.HandleFunc("GET /v1/debug/telemetry", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, telemetry.Default().Snapshot())
+	})
 
 	mux.HandleFunc("GET /v1/apps", func(w http.ResponseWriter, r *http.Request) {
 		// The registry's descriptions are rank-independent; 16 is only a
@@ -202,6 +185,9 @@ func NewHandler(m *Manager) http.Handler {
 		job, err := m.Submit(req)
 		if err != nil {
 			if errors.Is(err, ErrQueueFull) {
+				m.log.LogAttrs(r.Context(), slog.LevelWarn, "submission rejected",
+					slog.String("request_id", RequestID(r.Context())),
+					slog.String("error", err.Error()))
 				w.Header().Set("Retry-After", "1")
 				writeError(w, http.StatusTooManyRequests, err)
 				return
@@ -209,6 +195,12 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
+		m.log.LogAttrs(r.Context(), slog.LevelInfo, "job submitted",
+			slog.String("request_id", RequestID(r.Context())),
+			slog.String("job_id", job.ID()),
+			slog.String("kind", job.Kind()),
+			slog.String("spec_digest", job.Key()),
+			slog.Bool("cached", job.Cached()))
 		if async, _ := strconv.ParseBool(r.URL.Query().Get("async")); async {
 			writeJSON(w, http.StatusAccepted, job.Status(false))
 			return
@@ -297,7 +289,7 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, j.Status(false))
 	})
 
-	return mux
+	return instrument(mux, m.log)
 }
 
 // wantsNDJSON reports whether the request's Accept header selects the

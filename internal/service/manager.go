@@ -13,6 +13,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -70,6 +72,10 @@ type Options struct {
 	// size, 1 forces serial replay, n > 1 requests n PDES shards per
 	// replay. Results are byte-identical either way.
 	ReplayShards int
+	// Logger receives the manager's structured logs (job lifecycle, HTTP
+	// access lines). Nil discards them — the library default, so tests
+	// and embedders stay quiet unless they opt in.
+	Logger *slog.Logger
 }
 
 // Manager is the job manager: it owns the result cache, the singleflight
@@ -79,6 +85,7 @@ type Manager struct {
 	eng   *engine.Engine
 	store *Store
 	cache *resultCache
+	log   *slog.Logger
 	start time.Time
 	// slots bounds how many jobs execute concurrently. The engine's own
 	// semaphore only bounds intra-job fan-out — its caller-runs
@@ -230,10 +237,15 @@ func NewManager(opts Options) (*Manager, error) {
 	if pointEntries == 0 {
 		pointEntries = DefaultPointCacheEntries
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	m := &Manager{
 		eng:          eng,
 		store:        store,
 		cache:        newResultCache(entries),
+		log:          logger,
 		progs:        newLRU[*sim.Program](maxCompiledPrograms),
 		start:        time.Now(),
 		slots:        make(chan struct{}, eng.Workers()),
@@ -345,9 +357,11 @@ func (m *Manager) pruneLocked() {
 // run executes one job and publishes its result.
 func (m *Manager) run(j *Job, t *task) {
 	// Wait for an execution slot — or for cancellation while queued.
+	admitted := time.Now()
 	select {
 	case m.slots <- struct{}{}:
 		m.unqueue()
+		mQueueWait.ObserveSince(admitted)
 		defer func() { <-m.slots }()
 	case <-j.ctx.Done():
 		m.unqueue()
@@ -355,9 +369,16 @@ func (m *Manager) run(j *Job, t *task) {
 		delete(m.inflight, t.key)
 		m.mu.Unlock()
 		j.complete(nil, j.ctx.Err())
+		m.log.LogAttrs(context.Background(), slog.LevelInfo, "job cancelled while queued",
+			slog.String("job_id", j.ID()), slog.String("kind", j.Kind()))
 		return
 	}
 	j.markRunning()
+	m.log.LogAttrs(j.ctx, slog.LevelInfo, "job running",
+		slog.String("job_id", j.ID()),
+		slog.String("kind", j.Kind()),
+		slog.String("spec_digest", j.Key()),
+		slog.Duration("queue_wait", time.Since(admitted)))
 	out, err := t.run(j.ctx, m)
 	var payload []byte
 	if err == nil {
@@ -371,6 +392,18 @@ func (m *Manager) run(j *Job, t *task) {
 	delete(m.inflight, t.key)
 	m.mu.Unlock()
 	j.complete(payload, err)
+	attrs := []slog.Attr{
+		slog.String("job_id", j.ID()),
+		slog.String("kind", j.Kind()),
+		slog.String("state", string(j.State())),
+		slog.Duration("elapsed", time.Since(j.created)),
+	}
+	level := slog.LevelInfo
+	if err != nil {
+		level = slog.LevelWarn
+		attrs = append(attrs, slog.String("error", err.Error()))
+	}
+	m.log.LogAttrs(context.Background(), level, "job finished", attrs...)
 }
 
 // Job returns a job by ID.

@@ -1,0 +1,108 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// The observability middleware: every request gets a process-unique ID
+// (returned as X-Request-Id and threaded through the context so handler
+// logs can correlate), a per-route latency observation, and a
+// status-labelled request count. The route label is the mux pattern
+// ("POST /v1/scenarios"), not the raw path, so /v1/traces/{digest}
+// aggregates into one series instead of one per digest.
+
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+var requestSeq atomic.Uint64
+
+func newRequestID() string {
+	return fmt.Sprintf("req-%08d", requestSeq.Add(1))
+}
+
+// RequestID returns the request ID the middleware stamped on ctx, or ""
+// outside a request.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// statusRecorder captures the response status and size for the access
+// log and the status-labelled request counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// flushRecorder re-exposes the underlying writer's Flusher through the
+// recorder — the NDJSON scenario stream flushes per frame and must keep
+// doing so through the middleware.
+type flushRecorder struct {
+	*statusRecorder
+	f http.Flusher
+}
+
+func (fr flushRecorder) Flush() { fr.f.Flush() }
+
+// instrument wraps the API mux with request IDs, per-endpoint telemetry,
+// and one structured access-log line per request.
+func instrument(mux *http.ServeMux, logger *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		_, pattern := mux.Handler(r)
+		if pattern == "" {
+			pattern = "unmatched"
+		}
+		rid := newRequestID()
+		w.Header().Set("X-Request-Id", rid)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, rid))
+
+		rec := &statusRecorder{ResponseWriter: w}
+		var ww http.ResponseWriter = rec
+		if f, ok := w.(http.Flusher); ok {
+			ww = flushRecorder{rec, f}
+		}
+		mux.ServeHTTP(ww, r)
+
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		mHTTPSeconds.With(pattern).Observe(elapsed.Nanoseconds())
+		mHTTPRequests.With(pattern, strconv.Itoa(status)).Inc()
+		logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("request_id", rid),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("endpoint", pattern),
+			slog.Int("status", status),
+			slog.Int64("bytes", rec.bytes),
+			slog.Duration("elapsed", elapsed),
+		)
+	})
+}

@@ -5,7 +5,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"time"
 
 	"repro/internal/core"
 )
@@ -195,9 +197,11 @@ func streamScenario(m *Manager, w http.ResponseWriter, r *http.Request, req Scen
 	// watches.
 	stop := context.AfterFunc(r.Context(), j.cancel)
 	defer stop()
+	admitted := time.Now()
 	select {
 	case m.slots <- struct{}{}:
 		m.unqueue()
+		mQueueWait.ObserveSince(admitted)
 		defer func() { <-m.slots }()
 	case <-j.ctx.Done():
 		m.unqueue()
@@ -209,6 +213,11 @@ func streamScenario(m *Manager, w http.ResponseWriter, r *http.Request, req Scen
 		return
 	}
 	j.markRunning()
+	m.log.LogAttrs(r.Context(), slog.LevelInfo, "scenario stream running",
+		slog.String("request_id", RequestID(r.Context())),
+		slog.String("job_id", j.ID()),
+		slog.String("spec_digest", key),
+		slog.Duration("queue_wait", time.Since(admitted)))
 
 	w.Header().Set("Content-Type", NDJSONContentType)
 	w.Header().Set("X-Job-Id", j.ID())

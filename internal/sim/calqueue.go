@@ -58,6 +58,12 @@ type eventQueue struct {
 	cur     int64 // absolute (unwrapped) year of the scan cursor
 	n       int
 	scratch []event // rebuild staging, reused
+
+	// Flight-recorder counters, single-owner like the queue itself:
+	// zeroed by reset, harvested per replay (see stats.go).
+	popped   int64 // events removed via pop/popBefore
+	jumps    int64 // cursor gap jumps (full cycle without a hit)
+	rebuilds int64 // redistributions
 }
 
 // reset empties the queue, keeping every bucket's capacity. Width and
@@ -75,6 +81,9 @@ func (q *eventQueue) reset() {
 	}
 	q.cur = 0
 	q.n = 0
+	q.popped = 0
+	q.jumps = 0
+	q.rebuilds = 0
 }
 
 func (q *eventQueue) len() int { return q.n }
@@ -146,6 +155,7 @@ func (q *eventQueue) scan() int {
 		// wider than the calendar. Jump straight to its first year —
 		// tracked during the cycle above — and rescan (guaranteed hit).
 		q.cur = minYear
+		q.jumps++
 	}
 }
 
@@ -158,6 +168,7 @@ func (q *eventQueue) pop() event {
 	e := b[last]
 	q.buckets[slot] = b[:last]
 	q.n--
+	q.popped++
 	return e
 }
 
@@ -177,6 +188,7 @@ func (q *eventQueue) popBefore(bound *event, hasBound bool) (event, bool) {
 	e := b[last]
 	q.buckets[slot] = b[:last]
 	q.n--
+	q.popped++
 	return e, true
 }
 
@@ -194,6 +206,7 @@ func (q *eventQueue) peek() (event, bool) {
 // recomputing the width from the observed event-time span and resetting
 // the cursor to the population's first year.
 func (q *eventQueue) rebuild(nb int) {
+	q.rebuilds++
 	if cap(q.scratch) < q.n {
 		q.scratch = make([]event, 0, q.n+q.n/2)
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/network"
 )
@@ -63,6 +64,15 @@ type pdesState struct {
 	wg          sync.WaitGroup
 	bound       event // parallel-phase window bound (the global queue head)
 	hasBound    bool
+
+	// Phase flight record, coordinator-owned and measured at the phase
+	// barriers (two clock reads per window, amortized over all shards, so
+	// the recording cost is invisible next to the barrier itself). Zeroed
+	// by start, harvested per replay (see stats.go).
+	windows      int64 // parallel windows run (horizon advances)
+	serialPhases int64 // coordinator drains of the global stream
+	parNanos     int64 // wall time inside parallel phases
+	serNanos     int64 // wall time inside serial phases
 }
 
 // route delivers a freshly scheduled event to its owner's queue. Shards
@@ -203,10 +213,16 @@ func (a *ReplayArena) replayShards(p network.Platform, prog *Program, n int) (*R
 	pd := &a.pdes
 	pd.start(a, n)
 	defer pd.stop()
+	a.stats.Shards = n
 
 	for r := 0; r < prog.numRanks; r++ {
 		pd.coord.route(a, event{t: 0, kind: evAdvance, a: int32(r)})
 	}
+	// Phase clock: one running mark, advanced at each phase end, so a
+	// phase costs a single clock read. The inter-phase scheduling scan is
+	// attributed to the phase it decides — a deliberate approximation
+	// that keeps the recording invisible next to the phase barrier.
+	mark := time.Now()
 	for {
 		head, hasHead := a.evq.peek()
 		// Parallel phase: run when any shard holds an event inside the
@@ -243,6 +259,10 @@ func (a *ReplayArena) replayShards(p network.Platform, prog *Program, n int) (*R
 				}
 				sh.outbox = sh.outbox[:0]
 			}
+			pd.windows++
+			now := time.Now()
+			pd.parNanos += now.Sub(mark).Nanoseconds()
+			mark = now
 			continue
 		}
 		if a.evq.len() == 0 {
@@ -252,6 +272,7 @@ func (a *ReplayArena) replayShards(p network.Platform, prog *Program, n int) (*R
 		// orders before every local head. Processing may push local
 		// events (waking a shard's rank), which tightens the bound and
 		// hands control back to the parallel phase.
+		pd.serialPhases++
 		for a.evq.len() > 0 {
 			gh, _ := a.evq.peek()
 			ahead := true
@@ -266,6 +287,9 @@ func (a *ReplayArena) replayShards(p network.Platform, prog *Program, n int) (*R
 			}
 			a.dispatch(a.evq.pop(), &pd.coord)
 		}
+		now := time.Now()
+		pd.serNanos += now.Sub(mark).Nanoseconds()
+		mark = now
 	}
 	return a.finishReplay()
 }
@@ -295,6 +319,8 @@ func (pd *pdesState) start(a *ReplayArena, n int) {
 		}
 	}
 	pd.coord.id = -1
+	pd.windows, pd.serialPhases = 0, 0
+	pd.parNanos, pd.serNanos = 0, 0
 	for i := range pd.shards {
 		sh := &pd.shards[i]
 		sh.q.reset()

@@ -38,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/network"
 	"repro/internal/trace"
@@ -490,6 +491,11 @@ type ReplayArena struct {
 	comms     []Comm
 	rankStats []RankStats
 	result    Result
+
+	// Flight record of the current/last replay (see stats.go).
+	stats          ReplayStats
+	replayStart    time.Time
+	shardEventsBuf []int64
 }
 
 // NewArena returns an empty arena. Buffers grow to the working set of the
@@ -637,6 +643,7 @@ func (a *ReplayArena) finishReplay() (*Result, error) {
 	if blocked != nil {
 		return nil, &DeadlockError{Trace: a.prog.name, Blocked: blocked}
 	}
+	a.harvestStats()
 	return a.assemble(), nil
 }
 
@@ -713,6 +720,8 @@ func (a *ReplayArena) reset(p network.Platform, prog *Program) {
 	a.evq.reset()
 	a.now = 0
 	a.inFlight = 0
+	a.stats = ReplayStats{Shards: 1}
+	a.replayStart = time.Now()
 
 	a.nodeOf = grow(a.nodeOf, p.Processors)
 	for r := 0; r < p.Processors; r++ {

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestReplayStatsSerial(t *testing.T) {
+	tr := allocRing(32, 12)
+	prog, err := Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := pdesPlatform(32, 4)
+	a := NewArena()
+	before := telemetry.Default().Counter("sim_replays_total", "").Value()
+	if _, err := a.RunProgram(plat, prog); err != nil {
+		t.Fatal(err)
+	}
+	st := a.LastStats()
+	if st.Shards != 1 {
+		t.Fatalf("Shards = %d, want 1", st.Shards)
+	}
+	if st.Events <= 0 {
+		t.Fatalf("Events = %d, want > 0", st.Events)
+	}
+	if st.ReplayNanos <= 0 {
+		t.Fatalf("ReplayNanos = %d, want > 0", st.ReplayNanos)
+	}
+	if st.ShardEvents != nil {
+		t.Fatalf("serial replay has ShardEvents %v", st.ShardEvents)
+	}
+	if st.Windows != 0 || st.ParallelNanos != 0 {
+		t.Fatalf("serial replay has PDES phases: %+v", st)
+	}
+	if after := telemetry.Default().Counter("sim_replays_total", "").Value(); after != before+1 {
+		t.Fatalf("sim_replays_total advanced %d -> %d, want +1", before, after)
+	}
+	// A second replay resets the record rather than accumulating.
+	ev1 := st.Events
+	if _, err := a.RunProgram(plat, prog); err != nil {
+		t.Fatal(err)
+	}
+	if st2 := a.LastStats(); st2.Events != ev1 {
+		t.Fatalf("repeat replay Events = %d, want %d", st2.Events, ev1)
+	}
+}
+
+func TestReplayStatsSharded(t *testing.T) {
+	tr := allocRing(32, 12)
+	prog, err := Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := pdesPlatform(32, 4)
+	serial := NewArena()
+	if _, err := serial.RunProgram(plat, prog); err != nil {
+		t.Fatal(err)
+	}
+	sharded := NewArena()
+	if _, err := sharded.RunProgramShards(plat, prog, 4); err != nil {
+		t.Fatal(err)
+	}
+	ss, ps := serial.LastStats(), sharded.LastStats()
+	if ps.Shards != 4 {
+		t.Fatalf("Shards = %d, want 4", ps.Shards)
+	}
+	// The sharded replay executes the same logical schedule plus the
+	// park/resume continuations that hand rank walks across the
+	// shard/coordinator boundary — never fewer events than serial.
+	if ps.Events < ss.Events {
+		t.Fatalf("sharded Events = %d < serial %d", ps.Events, ss.Events)
+	}
+	if len(ps.ShardEvents) != 4 {
+		t.Fatalf("ShardEvents = %v, want 4 shards", ps.ShardEvents)
+	}
+	var shardSum int64
+	for _, n := range ps.ShardEvents {
+		shardSum += n
+	}
+	if shardSum <= 0 || shardSum > ps.Events {
+		t.Fatalf("shard event sum %d out of range (total %d)", shardSum, ps.Events)
+	}
+	if ps.Windows <= 0 {
+		t.Fatalf("Windows = %d, want > 0", ps.Windows)
+	}
+	if ps.SerialPhases <= 0 {
+		t.Fatalf("SerialPhases = %d, want > 0", ps.SerialPhases)
+	}
+	if ps.ParallelNanos <= 0 || ps.SerialNanos <= 0 {
+		t.Fatalf("phase nanos = %d/%d, want > 0", ps.ParallelNanos, ps.SerialNanos)
+	}
+}
+
+func TestReplayStatsTelemetryFamilies(t *testing.T) {
+	tr := allocRing(16, 6)
+	prog, err := Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewArena().RunProgramShards(pdesPlatform(16, 2), prog, 2); err != nil {
+		t.Fatal(err)
+	}
+	snap := telemetry.Default().Snapshot()
+	for _, name := range []string{
+		"sim_replays_total", "sim_replay_events_total", "sim_replay_seconds",
+		"sim_pdes_replays_total", "sim_pdes_windows_total",
+		"sim_pdes_parallel_seconds_total", "sim_pdes_serial_seconds_total",
+		"sim_pdes_shard_events_total",
+	} {
+		m := snap.Find(name)
+		if m == nil || len(m.Samples) == 0 {
+			t.Fatalf("metric %s missing from snapshot", name)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A tiny Prometheus text-format parser — enough to validate an
+// exposition page and read sample values back. Used by cmd/promcheck in
+// CI smoke tests and by the round-trip tests in this package.
+
+// ParsedMetrics maps sample keys to values. A sample without labels is
+// keyed by its bare name; a labeled sample by name{k="v",...} with label
+// pairs sorted by key.
+type ParsedMetrics map[string]float64
+
+// Value returns the sample with the exact key, or the sum of every
+// sample of the family when key is a bare name with labeled samples.
+// ok is false when no sample matches.
+func (pm ParsedMetrics) Value(key string) (v float64, ok bool) {
+	if val, hit := pm[key]; hit {
+		return val, true
+	}
+	prefix := key + "{"
+	sum, n := 0.0, 0
+	for k, val := range pm {
+		if strings.HasPrefix(k, prefix) {
+			sum += val
+			n++
+		}
+	}
+	return sum, n > 0
+}
+
+// Keys returns every sample key in sorted order.
+func (pm ParsedMetrics) Keys() []string {
+	keys := make([]string, 0, len(pm))
+	for k := range pm {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ParseMetrics reads a Prometheus text-format page, validating comment
+// lines, metric names, label syntax, and values. Duplicate sample keys
+// are an error (a well-formed page never repeats one).
+func ParseMetrics(r io.Reader) (ParsedMetrics, error) {
+	pm := make(ParsedMetrics)
+	typed := make(map[string]string)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, typed); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		key, val, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if _, dup := pm[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate sample %q", lineNo, key)
+		}
+		pm[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pm, nil
+}
+
+// parseComment validates # HELP / # TYPE lines; other comments pass.
+func parseComment(line string, typed map[string]string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validName(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+	case "TYPE":
+		if len(fields) != 4 || !validName(fields[2]) {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		if prev, ok := typed[fields[2]]; ok && prev != fields[3] {
+			return fmt.Errorf("metric %q re-typed %s -> %s", fields[2], prev, fields[3])
+		}
+		typed[fields[2]] = fields[3]
+	}
+	return nil
+}
+
+// parseSample parses `name{labels} value [timestamp]`, returning the
+// canonical sample key (labels sorted by key) and the value.
+func parseSample(line string) (string, float64, error) {
+	nameEnd := strings.IndexAny(line, "{ \t")
+	if nameEnd <= 0 {
+		return "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name := line[:nameEnd]
+	if !validName(name) {
+		return "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[nameEnd:]
+	var labels []string
+	if rest[0] == '{' {
+		end := -1
+		inQuote, esc := false, false
+		for i := 1; i < len(rest); i++ {
+			c := rest[i]
+			switch {
+			case esc:
+				esc = false
+			case inQuote && c == '\\':
+				esc = true
+			case c == '"':
+				inQuote = !inQuote
+			case !inQuote && c == '}':
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		var err error
+		labels, err = parseLabels(rest[1:end])
+		if err != nil {
+			return "", 0, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	val, err := parseValue(fields[0])
+	if err != nil {
+		return "", 0, fmt.Errorf("bad value %q in %q", fields[0], line)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", 0, fmt.Errorf("bad timestamp %q in %q", fields[1], line)
+		}
+	}
+	key := name
+	if len(labels) > 0 {
+		sort.Strings(labels)
+		key = name + "{" + strings.Join(labels, ",") + "}"
+	}
+	return key, val, nil
+}
+
+// parseLabels splits `k="v",k2="v2"` into canonical `k="v"` pairs,
+// unescaping values only to validate them (keys stay escaped in the
+// canonical form so round-trips are exact).
+func parseLabels(s string) ([]string, error) {
+	var pairs []string
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("malformed label pair")
+		}
+		key := strings.TrimSpace(s[:eq])
+		if !validName(key) {
+			return nil, fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value")
+		}
+		end := -1
+		esc := false
+		for i := 1; i < len(s); i++ {
+			switch {
+			case esc:
+				esc = false
+			case s[i] == '\\':
+				esc = true
+			case s[i] == '"':
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated label value")
+		}
+		pairs = append(pairs, key+"="+s[:end+1])
+		s = s[end+1:]
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return pairs, nil
+}
+
+// parseValue accepts floats plus the exposition spellings of infinities
+// and NaN.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf", "-Inf", "NaN":
+		return strconv.ParseFloat(strings.TrimPrefix(s, "+"), 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}

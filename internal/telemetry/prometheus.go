@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format (version 0.0.4) exposition over a registry
+// snapshot. The output is deterministic: families sort by name, samples
+// by label values, and numbers format with the shortest exact
+// representation.
+
+// fmtFloat formats a value the way Prometheus clients expect: shortest
+// exact decimal, "+Inf"/"-Inf" for infinities.
+func fmtFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the text format: backslash,
+// double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// writeLabels renders {k="v",...} with keys in sorted order (the sample
+// map is rebuilt from the family's label slice, so order follows the
+// registration order; sortedKeys keeps the output stable regardless).
+func writeLabels(b *strings.Builder, labels map[string]string, extraKey, extraVal string) {
+	if len(labels) == 0 && extraKey == "" {
+		return
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	// insertion sort; label sets are tiny
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	b.WriteByte('{')
+	first := true
+	for _, k := range keys {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if !first {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// WritePrometheus writes the registry's current state to w in the
+// Prometheus text exposition format.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	snap := r.Snapshot()
+	var b strings.Builder
+	for _, m := range snap.Metrics {
+		if m.Help != "" {
+			b.WriteString("# HELP ")
+			b.WriteString(m.Name)
+			b.WriteByte(' ')
+			b.WriteString(strings.ReplaceAll(m.Help, "\n", " "))
+			b.WriteByte('\n')
+		}
+		b.WriteString("# TYPE ")
+		b.WriteString(m.Name)
+		b.WriteByte(' ')
+		b.WriteString(m.Type)
+		b.WriteByte('\n')
+		for _, s := range m.Samples {
+			if s.Histogram == nil {
+				b.WriteString(m.Name)
+				writeLabels(&b, s.Labels, "", "")
+				b.WriteByte(' ')
+				b.WriteString(fmtFloat(s.Value))
+				b.WriteByte('\n')
+				continue
+			}
+			h := s.Histogram
+			for _, bk := range h.Buckets {
+				b.WriteString(m.Name)
+				b.WriteString("_bucket")
+				writeLabels(&b, s.Labels, "le", fmtFloat(bk.LE))
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatUint(bk.Count, 10))
+				b.WriteByte('\n')
+			}
+			b.WriteString(m.Name)
+			b.WriteString("_bucket")
+			writeLabels(&b, s.Labels, "le", "+Inf")
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(h.Count, 10))
+			b.WriteByte('\n')
+			b.WriteString(m.Name)
+			b.WriteString("_sum")
+			writeLabels(&b, s.Labels, "", "")
+			b.WriteByte(' ')
+			b.WriteString(fmtFloat(h.Sum))
+			b.WriteByte('\n')
+			b.WriteString(m.Name)
+			b.WriteString("_count")
+			writeLabels(&b, s.Labels, "", "")
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(h.Count, 10))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns an http.Handler serving the registry in the
+// Prometheus text format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, r)
+	})
+}

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testRegistry() *Registry {
+	r := New()
+	r.Counter("jobs_total", "jobs run").Add(3)
+	r.Gauge("depth", "queue depth").Set(2)
+	v := r.CounterVec("req_total", "requests", "endpoint", "code")
+	v.With("POST /v1/scenarios", "200").Add(5)
+	v.With("GET /healthz", "200").Add(1)
+	h := r.Histogram("replay_seconds", "replay wall time", 1e-9)
+	h.Observe(1_000_000)
+	h.Observe(2_000_000)
+	hv := r.HistogramVec("stage_seconds", "per-stage time", 1e-9, "stage")
+	hv.With("compile").Observe(500)
+	r.GaugeFunc("uptime_seconds", "", func() float64 { return 12.5 })
+	r.CounterVec("esc_total", "label escaping", "path").With("a\"b\\c\nd").Inc()
+	return r
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := testRegistry()
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	pm, err := ParseMetrics(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, out)
+	}
+	checks := map[string]float64{
+		"jobs_total": 3,
+		"depth":      2,
+		"req_total{code=\"200\",endpoint=\"POST /v1/scenarios\"}": 5,
+		"replay_seconds_count":                   2,
+		"uptime_seconds":                         12.5,
+		"stage_seconds_count{stage=\"compile\"}": 1,
+	}
+	for key, want := range checks {
+		got, ok := pm.Value(key)
+		if !ok || got != want {
+			t.Fatalf("%s = %g (ok=%v), want %g\n%s", key, got, ok, want, out)
+		}
+	}
+	// Bare-name lookup over a labeled family sums its samples.
+	if got, ok := pm.Value("req_total"); !ok || got != 6 {
+		t.Fatalf("req_total sum = %g (ok=%v), want 6", got, ok)
+	}
+	// Histogram structure: +Inf bucket present and equal to the count.
+	if got, ok := pm.Value(`replay_seconds_bucket{le="+Inf"}`); !ok || got != 2 {
+		t.Fatalf("+Inf bucket = %g (ok=%v)", got, ok)
+	}
+	if !strings.Contains(out, "# TYPE replay_seconds histogram") {
+		t.Fatalf("missing TYPE line:\n%s", out)
+	}
+}
+
+func TestPrometheusDeterministic(t *testing.T) {
+	r := testRegistry()
+	var a, b strings.Builder
+	_ = WritePrometheus(&a, r)
+	_ = WritePrometheus(&b, r)
+	if a.String() != b.String() {
+		t.Fatal("exposition is not deterministic")
+	}
+}
+
+func TestPrometheusHandler(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Handler(testRegistry()).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if _, err := ParseMetrics(rec.Body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"1metric 3\n",
+		"metric{k=unquoted} 3\n",
+		"metric{k=\"v\" 3\n",
+		"metric notanumber\n",
+		"# TYPE metric frobnitz\n",
+		"dup 1\ndup 2\n",
+	}
+	for _, in := range bad {
+		if _, err := ParseMetrics(strings.NewReader(in)); err == nil {
+			t.Fatalf("ParseMetrics accepted %q", in)
+		}
+	}
+	ok := "# HELP m help text\n# TYPE m counter\nm 4 1699999999\n\n# plain comment\n"
+	pm, err := ParseMetrics(strings.NewReader(ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := pm.Value("m"); v != 4 {
+		t.Fatalf("m = %g", v)
+	}
+}

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTimings renders a human-readable timing summary of the registry:
+// every histogram as count/mean/p50/p90/max, every counter and gauge as
+// a plain value. This backs the -timings flag of the scenario CLIs.
+func WriteTimings(w io.Writer, r *Registry) error {
+	snap := r.Snapshot()
+	var b strings.Builder
+	b.WriteString("timings:\n")
+	for _, m := range snap.Metrics {
+		for _, s := range m.Samples {
+			name := m.Name
+			if len(s.Labels) > 0 {
+				keys := make([]string, 0, len(s.Labels))
+				for k := range s.Labels {
+					keys = append(keys, k)
+				}
+				for i := 1; i < len(keys); i++ {
+					for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+						keys[j], keys[j-1] = keys[j-1], keys[j]
+					}
+				}
+				parts := make([]string, len(keys))
+				for i, k := range keys {
+					parts[i] = k + "=" + s.Labels[k]
+				}
+				name += "{" + strings.Join(parts, ",") + "}"
+			}
+			if h := s.Histogram; h != nil {
+				if h.Count == 0 {
+					continue
+				}
+				fmt.Fprintf(&b, "  %-58s count=%-8d total=%-12s mean=%-10s p50=%-10s p90=%s\n",
+					name, h.Count, fmtDur(h.Sum), fmtDur(h.Mean()), fmtDur(h.Quantile(0.5)), fmtDur(h.Quantile(0.9)))
+				continue
+			}
+			if s.Value == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-58s %s\n", name, fmtFloat(s.Value))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// fmtDur formats a duration in seconds with a readable unit.
+func fmtDur(sec float64) string {
+	switch {
+	case sec == 0:
+		return "0"
+	case sec < 1e-6:
+		return fmt.Sprintf("%.0fns", sec*1e9)
+	case sec < 1e-3:
+		return fmt.Sprintf("%.1fus", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.2fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", sec)
+	}
+}
