@@ -46,6 +46,7 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling; leave off in untrusted networks)")
 	scenarioPath := flag.String("scenario", "", "one-shot mode: run a scenario spec (JSON, the POST /v1/scenarios schema) against -store-dir, stream the point table, and exit without serving")
 	scenarioJSON := flag.Bool("scenario-json", false, "with -scenario, print the raw result JSON instead of the streamed point table")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM/SIGINT, how long to wait for in-flight jobs and streams to finish before closing the server")
 	logFormat := flag.String("log-format", "text", "structured log format: text|json")
 	tm := platformflag.RegisterTimings(flag.CommandLine)
 	flag.Parse()
@@ -137,15 +138,39 @@ func main() {
 		handler = mux
 	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           handler,
+		Addr:    *addr,
+		Handler: handler,
+		// Header and body reads are bounded so a stalled or malicious
+		// client cannot pin a connection; idle keep-alives are reaped.
+		// No WriteTimeout: scenario streams legitimately write for as
+		// long as the grid takes, and a hung client is already bounded
+		// by the job's context (closing the connection cancels it).
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
+		// Graceful drain, in two phases. First the manager stops
+		// admitting new computations — fresh submissions get 503 +
+		// Retry-After while the listener is still up, so clients see a
+		// clean backoff signal instead of a connection reset — and every
+		// in-flight job and stream runs to completion. Only then does
+		// the HTTP server close: accepted work is never truncated.
+		logger.Info("draining: new submissions get 503")
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		flushed, err := mgr.Drain(drainCtx)
+		cancel()
+		if err != nil {
+			logger.Warn("drain timed out; shutting down anyway",
+				slog.Int("inflight_at_drain", flushed),
+				slog.String("error", err.Error()))
+		} else {
+			logger.Info("drained", slog.Int("flushed_jobs", flushed))
+		}
 		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/network"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -51,6 +52,18 @@ const (
 	// AxisRanks sweeps the world size (re-traces the application per
 	// point; the platform is resized to match).
 	AxisRanks AxisKind = "ranks"
+	// AxisDerate sweeps the interconnect bandwidth derate factor in
+	// (0, 1]; 1 is the healthy platform (faults.Spec.DerateInter).
+	AxisDerate AxisKind = "derate"
+	// AxisJitter sweeps the deterministic inter-node latency jitter
+	// fraction; 0 is the healthy platform (faults.Spec.JitterFrac).
+	AxisJitter AxisKind = "jitter"
+	// AxisStragglers sweeps the number of seeded straggler ranks; 0 is
+	// the healthy platform (faults.Spec.Stragglers).
+	AxisStragglers AxisKind = "stragglers"
+	// AxisLinkDown sweeps the number of seeded downed inter-node links;
+	// 0 is the healthy platform (faults.Spec.LinkDown).
+	AxisLinkDown AxisKind = "link-down"
 )
 
 // Axis is one sweep dimension: a kind plus its points. Exactly one of
@@ -92,6 +105,18 @@ func NodeCountAxis(counts ...int) Axis { return Axis{Kind: AxisNodes, Counts: co
 // RanksAxis sweeps the world size.
 func RanksAxis(counts ...int) Axis { return Axis{Kind: AxisRanks, Counts: counts} }
 
+// DerateAxis sweeps the interconnect bandwidth derate factor (1 = healthy).
+func DerateAxis(factors ...float64) Axis { return Axis{Kind: AxisDerate, Values: factors} }
+
+// JitterAxis sweeps the deterministic latency jitter fraction (0 = healthy).
+func JitterAxis(fracs ...float64) Axis { return Axis{Kind: AxisJitter, Values: fracs} }
+
+// StragglersAxis sweeps the seeded straggler rank count (0 = healthy).
+func StragglersAxis(counts ...int) Axis { return Axis{Kind: AxisStragglers, Counts: counts} }
+
+// LinkDownAxis sweeps the seeded downed-link count (0 = healthy).
+func LinkDownAxis(counts ...int) Axis { return Axis{Kind: AxisLinkDown, Counts: counts} }
+
 // Len returns the number of points on the axis.
 func (a Axis) Len() int { return len(a.Values) + len(a.Counts) + len(a.Mappings) }
 
@@ -112,24 +137,41 @@ func (a Axis) Validate() error {
 		return fmt.Errorf("core: axis %q populates %d of values/counts/mappings, want one", a.Kind, populated)
 	}
 	switch a.Kind {
-	case AxisBandwidth, AxisLatency:
+	case AxisBandwidth, AxisLatency, AxisDerate, AxisJitter:
 		if len(a.Counts) > 0 || len(a.Mappings) > 0 {
 			return fmt.Errorf("core: axis %q takes values, not counts or mappings", a.Kind)
 		}
 		for _, v := range a.Values {
-			if a.Kind == AxisBandwidth && v <= 0 {
-				return fmt.Errorf("core: axis %q: bandwidth %g MB/s, must be positive", a.Kind, v)
-			}
-			if a.Kind == AxisLatency && v < 0 {
-				return fmt.Errorf("core: axis %q: latency %g s, must be non-negative", a.Kind, v)
+			switch a.Kind {
+			case AxisBandwidth:
+				if v <= 0 {
+					return fmt.Errorf("core: axis %q: bandwidth %g MB/s, must be positive", a.Kind, v)
+				}
+			case AxisLatency:
+				if v < 0 {
+					return fmt.Errorf("core: axis %q: latency %g s, must be non-negative", a.Kind, v)
+				}
+			case AxisDerate:
+				if v <= 0 || v > 1 {
+					return fmt.Errorf("core: axis %q: derate factor %g, must be in (0, 1]", a.Kind, v)
+				}
+			case AxisJitter:
+				if v < 0 {
+					return fmt.Errorf("core: axis %q: jitter fraction %g, must be non-negative", a.Kind, v)
+				}
 			}
 		}
-	case AxisBuses, AxisChunks, AxisNodes, AxisRanks:
+	case AxisBuses, AxisChunks, AxisNodes, AxisRanks, AxisStragglers, AxisLinkDown:
 		if len(a.Values) > 0 || len(a.Mappings) > 0 {
 			return fmt.Errorf("core: axis %q takes counts, not values or mappings", a.Kind)
 		}
 		for _, k := range a.Counts {
-			if k <= 0 && !(a.Kind == AxisBuses && k == 0) {
+			switch {
+			case k > 0:
+			case k == 0 && (a.Kind == AxisBuses || a.Kind == AxisStragglers || a.Kind == AxisLinkDown):
+				// Meaningful zeros: an unlimited bus pool, or the healthy
+				// point of a fault axis.
+			default:
 				return fmt.Errorf("core: axis %q: count %d, must be positive", a.Kind, k)
 			}
 		}
@@ -163,7 +205,7 @@ func (a Axis) labels() ([]string, error) {
 			}
 			out = append(out, m.String())
 		}
-	case AxisBandwidth, AxisLatency:
+	case AxisBandwidth, AxisLatency, AxisDerate, AxisJitter:
 		for _, v := range a.Values {
 			out = append(out, strconv.FormatFloat(v, 'g', -1, 64))
 		}
@@ -229,6 +271,13 @@ type Scenario struct {
 
 	// Platform is the base platform every grid point starts from.
 	Platform network.Platform
+	// Degradations, when non-zero, replaces the platform's own fault-
+	// injection spec: the declarative "what breaks" block of a degradation
+	// study. Fault axes (derate, jitter, stragglers, link-down) then vary
+	// the corresponding field per grid point on top of it. It enters the
+	// canonical digest through the platform, so the zero value digests
+	// identically to a spec written before the field existed.
+	Degradations faults.Spec
 	// Flavors lists the execution flavors measured per grid point for
 	// finish/traffic outputs (default: base and overlap-real; trace mode
 	// forces the trace's own flavor). Report and what-if outputs ignore
@@ -340,6 +389,9 @@ func (s Scenario) normalized() (Scenario, error) {
 				return s, fmt.Errorf("core: unknown flavor %q", f)
 			}
 		}
+	}
+	if !s.Degradations.IsZero() {
+		s.Platform = s.Platform.WithDegradations(s.Degradations)
 	}
 	if err := s.Platform.Validate(); err != nil {
 		return s, err
@@ -580,6 +632,12 @@ type FlavorMeasure struct {
 	// TraceDigest content-addresses the exact trace this row replayed.
 	TraceDigest string  `json:"trace_digest"`
 	FinishSec   float64 `json:"finish_sec"`
+	// Fault, when non-empty, reports that injected hard faults (downed
+	// NICs or inter-node links) severed ranks this flavor needed: the
+	// replay stalled instead of finishing, FinishSec is 0, and Fault
+	// describes the stall. Genuine trace deadlocks on healthy platforms
+	// remain hard errors, not Fault rows.
+	Fault string `json:"fault,omitempty"`
 	// Traffic is present for traffic output.
 	Traffic *WireTraffic `json:"traffic,omitempty"`
 }
@@ -774,6 +832,14 @@ func (s *Scenario) grid() ([]gridPoint, error) {
 				pt.plat = pt.plat.WithNodes(ap.ax.Counts[k])
 			case AxisMapping:
 				pt.plat = pt.plat.WithMapping(ap.mappings[k])
+			case AxisDerate:
+				pt.plat = pt.plat.WithDerateInter(ap.ax.Values[k])
+			case AxisJitter:
+				pt.plat = pt.plat.WithJitter(ap.ax.Values[k])
+			case AxisStragglers:
+				pt.plat = pt.plat.WithStragglers(ap.ax.Counts[k])
+			case AxisLinkDown:
+				pt.plat = pt.plat.WithLinkDown(ap.ax.Counts[k])
 			}
 		}
 		if err := pt.plat.Validate(); err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -209,6 +210,21 @@ func RunScenarioStream(ctx context.Context, eng *engine.Engine, spec Scenario, y
 			t0 = time.Now()
 			sum, err := sim.ReplayShardsSummary(pt.plat, prog, shards)
 			if err != nil {
+				var dl *sim.DeadlockError
+				if errors.As(err, &dl) && dl.FaultInduced() {
+					// Injected hard faults severed ranks this flavor
+					// needed. In a what-breaks-first grid that is a result,
+					// not a failure: report the point as faulted instead of
+					// aborting the study. Genuine trace deadlocks (nothing
+					// dropped) stay hard errors below.
+					mStageReplay.ObserveSince(t0)
+					mPtsFaulted.Inc()
+					return FlavorMeasure{
+						Flavor:      f,
+						TraceDigest: digest,
+						Fault:       fmt.Sprintf("deadlock: %d ranks blocked, %d transfers lost to downed NICs/links", len(dl.Blocked), dl.Dropped),
+					}, nil
+				}
 				return FlavorMeasure{}, fmt.Errorf("core: scenario point %v %s: %w", pt.coords, f, err)
 			}
 			mStageReplay.ObserveSince(t0)

@@ -17,4 +17,5 @@ var (
 	scenarioPoints = telemetry.Default().CounterVec("scenario_points_total", "scenario grid points emitted, by origin", "source")
 	mPtsComputed   = scenarioPoints.With("computed")
 	mPtsCached     = scenarioPoints.With("cached")
+	mPtsFaulted    = telemetry.Default().Counter("scenario_points_faulted_total", "flavor measurements reported as fault-induced stalls (injected faults severed required ranks)")
 )

@@ -5,6 +5,8 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+
+	"repro/internal/faults"
 )
 
 // Content addressing for platforms. The service layer keys its result
@@ -33,6 +35,11 @@ type canonicalPlatform struct {
 	EagerThresholdBytes int64   `json:"eager_threshold_bytes"`
 	RelativeSpeed       float64 `json:"relative_speed"`
 	CongestionFactor    float64 `json:"congestion_factor"`
+	// Degradations carries the canonical fault-injection spec and is
+	// omitted entirely when the spec has no effect, so every healthy
+	// platform — including one written before the field existed —
+	// digests to the same bytes it always has.
+	Degradations *faults.Spec `json:"degradations,omitempty"`
 }
 
 // CanonicalJSON returns the canonical serialized form of the platform:
@@ -61,6 +68,9 @@ func (p Platform) CanonicalJSON() ([]byte, error) {
 		EagerThresholdBytes: p.EagerThresholdBytes,
 		RelativeSpeed:       p.RelativeSpeed,
 		CongestionFactor:    p.CongestionFactor,
+	}
+	if d := p.Degradations.Canonical(); !d.IsZero() {
+		c.Degradations = &d
 	}
 	b, err := json.Marshal(c)
 	if err != nil {

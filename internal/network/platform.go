@@ -5,6 +5,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"repro/internal/faults"
 )
 
 // Hierarchical platform model: a cluster of Nodes, a rank→node Mapping, and
@@ -202,6 +204,12 @@ type Platform struct {
 	// inter-node transfers, relative to the global bus pool; intra-node
 	// transfers never congest the interconnect.
 	CongestionFactor float64
+	// Degradations declares the fault-injection scenario the replay
+	// engine applies on this platform: bandwidth derating, deterministic
+	// latency jitter, compute stragglers, downed NICs/links. The zero
+	// value is the healthy platform and digests identically to a
+	// platform that predates the field (see digest.go).
+	Degradations faults.Spec
 }
 
 // Platform lifts the flat configuration to its degenerate hierarchical
@@ -269,6 +277,9 @@ func (p Platform) Validate() error {
 	}
 	if err := p.Inter.Validate(); err != nil {
 		return fmt.Errorf("inter %w", err)
+	}
+	if err := p.Degradations.ValidateFor(p.Processors, p.Nodes); err != nil {
+		return err
 	}
 	return p.Mapping.validate(p.Processors, p.Nodes)
 }
@@ -361,6 +372,47 @@ func (p Platform) WithBuses(buses int) Platform {
 	return p
 }
 
+// WithDegradations returns a copy with the fault-injection spec
+// replaced.
+func (p Platform) WithDegradations(d faults.Spec) Platform {
+	p.Degradations = d
+	return p
+}
+
+// WithDerateInter returns a copy with the interconnect bandwidth derate
+// factor replaced — the platform primitive behind the "derate" scenario
+// axis. A factor of 1 (or 0) is the healthy platform.
+func (p Platform) WithDerateInter(f float64) Platform {
+	p.Degradations.DerateInter = f
+	return p
+}
+
+// WithJitter returns a copy with the deterministic latency jitter
+// fraction replaced — the primitive behind the "jitter" scenario axis.
+func (p Platform) WithJitter(frac float64) Platform {
+	p.Degradations.JitterFrac = frac
+	return p
+}
+
+// WithStragglers returns a copy with k seeded straggler ranks — the
+// primitive behind the "stragglers" scenario axis. When the spec names
+// no slowdown yet, the factor defaults to 2 (each straggler computes at
+// half speed) so a bare count axis has an effect.
+func (p Platform) WithStragglers(k int) Platform {
+	p.Degradations.Stragglers = k
+	if k > 0 && p.Degradations.StragglerFactor == 0 {
+		p.Degradations.StragglerFactor = 2
+	}
+	return p
+}
+
+// WithLinkDown returns a copy with k seeded downed inter-node links —
+// the primitive behind the "link-down" scenario axis.
+func (p Platform) WithLinkDown(k int) Platform {
+	p.Degradations.LinkDown = k
+	return p
+}
+
 // RanksPerNode returns the block-mapping capacity ceil(Processors/Nodes),
 // the natural "cores per node" figure of the platform.
 func (p Platform) RanksPerNode() int {
@@ -369,12 +421,16 @@ func (p Platform) RanksPerNode() int {
 
 // Describe renders a one-line human summary of the platform.
 func (p Platform) Describe() string {
-	if !p.MultiNode() {
-		return fmt.Sprintf("%d ranks on %d nodes (flat), link %.0f MB/s %.1f us, %d buses, %d/%d ports",
-			p.Processors, p.Nodes, p.Inter.BandwidthMBps, p.Inter.LatencySec*1e6, p.Buses, p.InPorts, p.OutPorts)
+	suffix := ""
+	if d := p.Degradations.Describe(); d != "" {
+		suffix = ", degraded: " + d
 	}
-	return fmt.Sprintf("%d ranks on %d nodes (map %s), intra %.0f MB/s %.2f us (%d buses/node), inter %.0f MB/s %.2f us (%d buses, %d/%d ports/node)",
+	if !p.MultiNode() {
+		return fmt.Sprintf("%d ranks on %d nodes (flat), link %.0f MB/s %.1f us, %d buses, %d/%d ports%s",
+			p.Processors, p.Nodes, p.Inter.BandwidthMBps, p.Inter.LatencySec*1e6, p.Buses, p.InPorts, p.OutPorts, suffix)
+	}
+	return fmt.Sprintf("%d ranks on %d nodes (map %s), intra %.0f MB/s %.2f us (%d buses/node), inter %.0f MB/s %.2f us (%d buses, %d/%d ports/node)%s",
 		p.Processors, p.Nodes, p.Mapping,
 		p.Intra.BandwidthMBps, p.Intra.LatencySec*1e6, p.IntraBuses,
-		p.Inter.BandwidthMBps, p.Inter.LatencySec*1e6, p.Buses, p.InPorts, p.OutPorts)
+		p.Inter.BandwidthMBps, p.Inter.LatencySec*1e6, p.Buses, p.InPorts, p.OutPorts, suffix)
 }

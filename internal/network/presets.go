@@ -8,6 +8,8 @@ import (
 	"math"
 	"os"
 	"sort"
+
+	"repro/internal/faults"
 )
 
 // Platform presets and JSON persistence: Dimemas reads its platform from a
@@ -291,6 +293,10 @@ type platformJSON struct {
 	EagerThresholdBytes int64    `json:"eager_threshold_bytes"`
 	RelativeSpeed       float64  `json:"relative_speed"`
 	CongestionFactor    float64  `json:"congestion_factor"`
+	// Degradations is optional: absent in healthy platform files (so
+	// files written before the field existed round-trip unchanged) and
+	// in files written for healthy platforms.
+	Degradations *faults.Spec `json:"degradations,omitempty"`
 }
 
 // WriteJSON serializes the platform.
@@ -318,6 +324,9 @@ func (p Platform) WriteJSON(w io.Writer) error {
 		EagerThresholdBytes: p.EagerThresholdBytes,
 		RelativeSpeed:       p.RelativeSpeed,
 		CongestionFactor:    p.CongestionFactor,
+	}
+	if d := p.Degradations.Canonical(); !d.IsZero() {
+		j.Degradations = &d
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -354,6 +363,9 @@ func ReadPlatformJSON(r io.Reader) (Platform, error) {
 		EagerThresholdBytes: j.EagerThresholdBytes,
 		RelativeSpeed:       j.RelativeSpeed,
 		CongestionFactor:    j.CongestionFactor,
+	}
+	if j.Degradations != nil {
+		p.Degradations = *j.Degradations
 	}
 	switch m := j.Mapping.(type) {
 	case string:

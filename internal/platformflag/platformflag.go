@@ -11,7 +11,11 @@
 //  4. the -nodes, -map, -bw (inter bandwidth), -lat (inter latency, us),
 //     and -buses (global pool; -1 keeps the calibrated value) overrides
 //     are applied on top, in that order;
-//  5. -dump-platform prints the resolved platform as JSON so a run's
+//  5. the degradation overrides (-derate, -jitter, -stragglers,
+//     -straggler-factor, -link-down, -fault-seed) follow — they fill the
+//     platform's fault-injection spec (see internal/faults), all
+//     deterministic, all default-off;
+//  6. -dump-platform prints the resolved platform as JSON so a run's
 //     exact platform can be captured into a file and replayed anywhere.
 package platformflag
 
@@ -35,6 +39,13 @@ type Flags struct {
 	buses   *int
 	shards  *int
 	dump    *bool
+
+	derate     *float64
+	jitter     *float64
+	stragglers *int
+	stragMul   *float64
+	linkDown   *int
+	faultSeed  *uint64
 }
 
 // Register declares the shared platform flags on fs (pass
@@ -50,6 +61,13 @@ func Register(fs *flag.FlagSet) *Flags {
 		buses:   fs.Int("buses", -1, "override global buses, 0 = unlimited (-1 = keep calibration)"),
 		shards:  fs.Int("replay-shards", 0, "parallel (PDES) shards per replay: 0 = planner's choice, 1 = serial, N = force N (results identical either way)"),
 		dump:    fs.Bool("dump-platform", false, "print the resolved platform as JSON and exit"),
+
+		derate:     fs.Float64("derate", 0, "degrade inter-node bandwidth to this fraction of healthy, in (0,1] (0 = healthy)"),
+		jitter:     fs.Float64("jitter", 0, "deterministic inter-node latency jitter fraction, e.g. 0.2 adds up to +20% per transfer (0 = none)"),
+		stragglers: fs.Int("stragglers", 0, "slow down this many seeded ranks by -straggler-factor (0 = none)"),
+		stragMul:   fs.Float64("straggler-factor", 0, "compute slowdown multiplier for straggler ranks (0 with -stragglers defaults to 2)"),
+		linkDown:   fs.Int("link-down", 0, "sever this many seeded inter-node links (0 = none)"),
+		faultSeed:  fs.Uint64("fault-seed", 0, "extra seed folded into the deterministic fault draws (straggler picks, downed links, jitter)"),
 	}
 }
 
@@ -101,6 +119,29 @@ func (f *Flags) Resolve(app string, ranks int) (network.Platform, error) {
 	}
 	if *f.buses >= 0 {
 		plat.Buses = *f.buses
+	}
+	// Degradation overrides layer onto whatever fault spec the platform
+	// file already carried; the zero value of each flag keeps it.
+	if *f.derate > 0 {
+		plat.Degradations.DerateInter = *f.derate
+	}
+	if *f.jitter > 0 {
+		plat.Degradations.JitterFrac = *f.jitter
+	}
+	if *f.stragglers > 0 {
+		plat.Degradations.Stragglers = *f.stragglers
+		if plat.Degradations.StragglerFactor == 0 && *f.stragMul == 0 {
+			plat.Degradations.StragglerFactor = 2
+		}
+	}
+	if *f.stragMul > 0 {
+		plat.Degradations.StragglerFactor = *f.stragMul
+	}
+	if *f.linkDown > 0 {
+		plat.Degradations.LinkDown = *f.linkDown
+	}
+	if *f.faultSeed != 0 {
+		plat.Degradations.Seed = *f.faultSeed
 	}
 	if err := plat.Validate(); err != nil {
 		return network.Platform{}, err

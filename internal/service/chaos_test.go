@@ -1,0 +1,237 @@
+// Chaos tests: the serving path under deliberately bad timing — a drain
+// beginning while a stream is mid-flight, a client vanishing mid-read.
+// Accepted work must reach a terminal state, streams must end on a
+// terminal frame, and nothing may leak a goroutine.
+package service_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// leakCheck snapshots the goroutine count and fails the test if, after
+// every other cleanup has run, the count hasn't settled back. Register
+// it before building the service stack so the stack's own cleanups
+// (server close, etc.) run first.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if n := runtime.NumGoroutine(); n <= baseline+2 {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.NumGoroutine()
+				t.Fatalf("goroutine leak: %d at start, %d after cleanup\n%s",
+					baseline, n, buf[:runtime.Stack(buf, true)])
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	})
+}
+
+// chaosRequest is a multi-point grid so a stream stays interruptible.
+func chaosRequest() service.ScenarioRequest {
+	return service.ScenarioRequest{
+		App: "cg", Ranks: 8,
+		Axes: []core.Axis{
+			core.BandwidthAxis(125, 250, 500, 1000, 2000, 4000),
+			core.MappingAxis("block", "rr"),
+		},
+		Output: "traffic",
+	}
+}
+
+// streamFrames reads an NDJSON scenario response line by line, counting
+// point frames and requiring a well-formed terminal frame: exactly one
+// done frame (carrying the true point count) at the end, never silence.
+func streamFrames(t *testing.T, body *bufio.Scanner) (points int) {
+	t.Helper()
+	sawDone := false
+	for body.Scan() {
+		if sawDone {
+			t.Fatalf("frame after done: %q", body.Text())
+		}
+		var f service.StreamFrame
+		if err := json.Unmarshal(body.Bytes(), &f); err != nil {
+			t.Fatalf("bad frame %q: %v", body.Text(), err)
+		}
+		switch {
+		case f.Point != nil:
+			points++
+		case f.Done != nil:
+			if f.Done.Points != points {
+				t.Fatalf("done frame counts %d points, stream carried %d", f.Done.Points, points)
+			}
+			sawDone = true
+		case f.Error != "":
+			t.Fatalf("stream failed: %s", f.Error)
+		}
+	}
+	if err := body.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	if !sawDone {
+		t.Fatal("stream ended without a terminal frame")
+	}
+	return points
+}
+
+// TestChaosDrainMidStream: a drain that begins while a streamed grid is
+// in flight must not cut the stream — every accepted point arrives and
+// the done frame closes it — while new submissions bounce with 503 +
+// Retry-After; afterwards, the cache still answers the finished spec.
+func TestChaosDrainMidStream(t *testing.T) {
+	leakCheck(t)
+	mgr, cl, base := newStreamService(t, 2)
+	req := chaosRequest()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hreq, err := http.NewRequest(http.MethodPost, base+"/v1/scenarios", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Accept", service.NDJSONContentType)
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		t.Fatalf("no header frame: %v", sc.Err())
+	}
+	var hdr service.StreamFrame
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Header == nil {
+		t.Fatalf("first frame not a header: %q (%v)", sc.Text(), err)
+	}
+
+	// The stream is accepted and in flight: begin the drain.
+	type drained struct {
+		flushed int
+		err     error
+	}
+	done := make(chan drained, 1)
+	go func() {
+		n, err := mgr.Drain(context.Background())
+		done <- drained{n, err}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for !mgr.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("drain never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// New work is refused while the stream flushes.
+	fresh := service.ScenarioRequest{App: "cg", Ranks: 4, Output: "finish"}
+	if _, err := cl.Scenario(context.Background(), fresh); err == nil ||
+		!strings.Contains(err.Error(), "503") {
+		t.Fatalf("fresh submission during drain: %v, want 503", err)
+	}
+
+	// The in-flight stream is not: it runs to its terminal frame with
+	// the full grid on board.
+	if points := streamFrames(t, sc); points != 12 {
+		t.Fatalf("drained stream delivered %d points, want 12", points)
+	}
+	select {
+	case d := <-done:
+		if d.err != nil {
+			t.Fatalf("drain failed: %v", d.err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain never finished after the stream completed")
+	}
+
+	// The flushed spec's bytes outlive the drain: a rerun is a pure
+	// cache read, allowed while draining, costing zero engine jobs.
+	started := mgr.Engine().Stats().Started
+	if _, err := cl.Scenario(context.Background(), req); err != nil {
+		t.Fatalf("cached rerun after drain: %v", err)
+	}
+	if got := mgr.Engine().Stats().Started; got != started {
+		t.Fatalf("cached rerun started %d engine jobs", got-started)
+	}
+}
+
+// TestChaosClientCancelMidStream: a client that walks away mid-stream
+// must not wedge the daemon — the accepted job reaches a terminal
+// state and the inflight table empties, so a later drain returns
+// instantly with nothing to flush.
+func TestChaosClientCancelMidStream(t *testing.T) {
+	leakCheck(t)
+	mgr, _, base := newStreamService(t, 2)
+	req := chaosRequest()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/scenarios", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Accept", service.NDJSONContentType)
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		t.Fatalf("no header frame: %v", sc.Err())
+	}
+	cancel() // vanish mid-stream
+	resp.Body.Close()
+
+	// The accepted job must reach a terminal state and leave the
+	// inflight table — observable as every job finishing.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		jobs := mgr.Jobs()
+		settled := true
+		for _, j := range jobs {
+			if !j.Finished() {
+				settled = false
+			}
+		}
+		if settled && len(jobs) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned stream job never settled: %d jobs", len(jobs))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The inflight table is empty: a drain has nothing to wait for.
+	dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer dcancel()
+	if flushed, err := mgr.Drain(dctx); err != nil || flushed != 0 {
+		t.Fatalf("drain after abandoned stream: flushed %d, err %v", flushed, err)
+	}
+}

@@ -21,12 +21,14 @@ import (
 // Client talks to one simd daemon. The zero value is not usable; create
 // one with New.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
 }
 
 // New returns a client for the daemon at base (e.g.
 // "http://127.0.0.1:8080"). httpClient nil selects http.DefaultClient.
+// The client does not retry; see WithRetry.
 func New(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
@@ -34,49 +36,90 @@ func New(base string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
 }
 
+// WithRetry returns a copy of the client that retries per p (see
+// RetryPolicy for what retries and how the waits are chosen).
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	cp := *c
+	cp.retry = p
+	return &cp
+}
+
 // apiError is the daemon's JSON error envelope.
 type apiError struct {
 	Error string `json:"error"`
 }
 
-// do issues one request and decodes the response into out (skipped when
-// out is nil). Non-2xx responses become errors carrying the server's
-// message.
-func (c *Client) do(ctx context.Context, method, path string, body io.Reader, contentType string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
-	if err != nil {
-		return err
-	}
-	if contentType != "" {
-		req.Header.Set("Content-Type", contentType)
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	payload, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var ae apiError
-		if json.Unmarshal(payload, &ae) == nil && ae.Error != "" {
-			return fmt.Errorf("client: %s %s: %s (HTTP %d)", method, path, ae.Error, resp.StatusCode)
+// do issues one request — retrying transport errors and backpressure
+// statuses per the client's RetryPolicy; bodies are []byte so every
+// attempt replays the same bytes — and decodes the response into out
+// (skipped when out is nil). Non-2xx responses become errors carrying
+// the server's message.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, contentType string, out any) error {
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
 		}
-		return fmt.Errorf("client: %s %s: HTTP %d", method, path, resp.StatusCode)
-	}
-	if out == nil {
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if attempt >= c.retry.Retries || ctx.Err() != nil {
+				return err
+			}
+			if sleepCtx(ctx, c.retry.wait(attempt, 0)) != nil {
+				return err
+			}
+			continue
+		}
+		payload, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			if attempt >= c.retry.Retries || ctx.Err() != nil {
+				return rerr
+			}
+			if sleepCtx(ctx, c.retry.wait(attempt, 0)) != nil {
+				return rerr
+			}
+			continue
+		}
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			serr := statusError(method, path, resp.StatusCode, payload)
+			if retryableStatus(resp.StatusCode) && attempt < c.retry.Retries {
+				if sleepCtx(ctx, c.retry.wait(attempt, parseRetryAfter(resp.Header.Get("Retry-After")))) != nil {
+					return serr
+				}
+				continue
+			}
+			return serr
+		}
+		if out == nil {
+			return nil
+		}
+		if raw, ok := out.(*[]byte); ok {
+			*raw = payload
+			return nil
+		}
+		if err := json.Unmarshal(payload, out); err != nil {
+			return fmt.Errorf("client: %s %s: decode response: %w", method, path, err)
+		}
 		return nil
 	}
-	if raw, ok := out.(*[]byte); ok {
-		*raw = payload
-		return nil
+}
+
+// statusError turns a non-2xx reply into the client's error, carrying
+// the server's JSON error message when one was sent.
+func statusError(method, path string, code int, payload []byte) error {
+	var ae apiError
+	if json.Unmarshal(payload, &ae) == nil && ae.Error != "" {
+		return fmt.Errorf("client: %s %s: %s (HTTP %d)", method, path, ae.Error, code)
 	}
-	if err := json.Unmarshal(payload, out); err != nil {
-		return fmt.Errorf("client: %s %s: decode response: %w", method, path, err)
-	}
-	return nil
+	return fmt.Errorf("client: %s %s: HTTP %d", method, path, code)
 }
 
 func (c *Client) postJSON(ctx context.Context, path string, req any, out any) error {
@@ -84,7 +127,7 @@ func (c *Client) postJSON(ctx context.Context, path string, req any, out any) er
 	if err != nil {
 		return err
 	}
-	return c.do(ctx, http.MethodPost, path, bytes.NewReader(body), "application/json", out)
+	return c.do(ctx, http.MethodPost, path, body, "application/json", out)
 }
 
 // Health checks /healthz.
@@ -143,7 +186,7 @@ func (c *Client) UploadTrace(ctx context.Context, t *trace.Trace) (service.Trace
 		return service.TraceInfo{}, err
 	}
 	var info service.TraceInfo
-	err := c.do(ctx, http.MethodPost, "/v1/traces", &buf, "application/octet-stream", &info)
+	err := c.do(ctx, http.MethodPost, "/v1/traces", buf.Bytes(), "application/octet-stream", &info)
 	return info, err
 }
 

@@ -1,0 +1,104 @@
+package client
+
+import (
+	"context"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Retry defaults. BaseWait seeds the exponential backoff and MaxWait
+// caps a single sleep; both are per-attempt, the whole retry budget is
+// additionally bounded by the request context.
+const (
+	DefaultRetryBaseWait = 100 * time.Millisecond
+	DefaultRetryMaxWait  = 2 * time.Second
+)
+
+// RetryPolicy controls the client's transparent retries. Every request
+// the daemon answers is keyed by content digest and served through the
+// result cache and singleflight table, so replaying a POST is safe: a
+// retry either attaches to the surviving computation or hits the cache.
+// Retries fire on transport errors (connection refused while the daemon
+// restarts, reset mid-flight) and on 429 Too Many Requests, 502 Bad
+// Gateway, and 503 Service Unavailable — the backpressure and drain
+// signals — waiting between attempts with exponential backoff and full
+// jitter, never less than the server's Retry-After. The zero value
+// disables retries (one attempt).
+type RetryPolicy struct {
+	// Retries is how many times a failed request is reissued; 0 means a
+	// single attempt.
+	Retries int
+	// BaseWait seeds the backoff (DefaultRetryBaseWait when 0). Attempt
+	// n sleeps a uniformly random duration in [0, min(BaseWait·2ⁿ,
+	// MaxWait)] — full jitter, so a herd of clients retrying against one
+	// restarted daemon spreads out instead of stampeding.
+	BaseWait time.Duration
+	// MaxWait caps one backoff sleep (DefaultRetryMaxWait when 0).
+	MaxWait time.Duration
+}
+
+// wait picks the sleep before retry attempt (attempt counts from 0) —
+// full jitter over the exponential ceiling, floored at the server's
+// Retry-After when one arrived.
+func (p RetryPolicy) wait(attempt int, retryAfter time.Duration) time.Duration {
+	base := p.BaseWait
+	if base <= 0 {
+		base = DefaultRetryBaseWait
+	}
+	maxw := p.MaxWait
+	if maxw <= 0 {
+		maxw = DefaultRetryMaxWait
+	}
+	ceil := base
+	for i := 0; i < attempt && ceil < maxw; i++ {
+		ceil *= 2
+	}
+	if ceil > maxw {
+		ceil = maxw
+	}
+	w := time.Duration(rand.Int64N(int64(ceil) + 1))
+	if w < retryAfter {
+		w = retryAfter
+	}
+	return w
+}
+
+// retryableStatus reports whether the status is a back-off-and-retry
+// signal rather than a real answer.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable:
+		return true
+	}
+	return false
+}
+
+// parseRetryAfter decodes a Retry-After header's delay-seconds form
+// (the only form the daemon emits); 0 when absent or unparseable.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// sleepCtx sleeps d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -30,30 +30,45 @@ type ScenarioStream struct {
 
 // Scenario opens a streaming scenario run. The returned stream has
 // already consumed the header frame, so Header is immediately valid;
-// call Next until io.EOF for the points.
+// call Next until io.EOF for the points. The opening POST retries per
+// the client's RetryPolicy (a mid-stream failure does not: replaying
+// frames already delivered is the caller's call to make).
 func (c *Client) ScenarioStream(ctx context.Context, req service.ScenarioRequest) (*ScenarioStream, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/scenarios", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	hreq.Header.Set("Accept", service.NDJSONContentType)
-	resp, err := c.hc.Do(hreq)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		defer resp.Body.Close()
-		payload, _ := io.ReadAll(resp.Body)
-		var ae apiError
-		if json.Unmarshal(payload, &ae) == nil && ae.Error != "" {
-			return nil, fmt.Errorf("client: POST /v1/scenarios: %s (HTTP %d)", ae.Error, resp.StatusCode)
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/scenarios", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
 		}
-		return nil, fmt.Errorf("client: POST /v1/scenarios: HTTP %d", resp.StatusCode)
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set("Accept", service.NDJSONContentType)
+		resp, err = c.hc.Do(hreq)
+		if err != nil {
+			if attempt >= c.retry.Retries || ctx.Err() != nil {
+				return nil, err
+			}
+			if sleepCtx(ctx, c.retry.wait(attempt, 0)) != nil {
+				return nil, err
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			payload, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			serr := statusError(http.MethodPost, "/v1/scenarios", resp.StatusCode, payload)
+			if retryableStatus(resp.StatusCode) && attempt < c.retry.Retries {
+				if sleepCtx(ctx, c.retry.wait(attempt, parseRetryAfter(resp.Header.Get("Retry-After")))) != nil {
+					return nil, serr
+				}
+				continue
+			}
+			return nil, serr
+		}
+		break
 	}
 	s := &ScenarioStream{body: resp.Body, sc: bufio.NewScanner(resp.Body)}
 	s.sc.Buffer(make([]byte, 0, 64<<10), 16<<20)

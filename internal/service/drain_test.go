@@ -1,0 +1,166 @@
+// Internal tests of graceful drain: like the admission tests they hold
+// the manager's execution slots directly, staging an in-flight job
+// deterministically while Drain is underway.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// TestDrainFlushesInflightAndRejects: Drain stops new computations —
+// ErrDraining internally, 503 + Retry-After over HTTP — while in-flight
+// jobs run to completion; the flushed count reports what it waited for,
+// and cached results keep serving after the drain.
+func TestDrainFlushesInflightAndRejects(t *testing.T) {
+	eng := engine.New(1)
+	m, err := NewManager(Options{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	m.slots <- struct{}{} // park the first job in the queue
+
+	j1, err := m.Submit(AnalyzeRequest{App: "cg", Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type drained struct {
+		flushed int
+		err     error
+	}
+	done := make(chan drained, 1)
+	go func() {
+		flushed, err := m.Drain(context.Background())
+		done <- drained{flushed, err}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for !m.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("Drain never marked the manager draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// New computations are refused while the flush is in progress.
+	if _, err := m.Submit(AnalyzeRequest{App: "cg", Ranks: 8}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit while draining: %v, want ErrDraining", err)
+	}
+	post := func(path, body string, ndjson bool) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, srv.URL+path, bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if ndjson {
+			req.Header.Set("Accept", NDJSONContentType)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	resp := post("/v1/analyze", `{"app":"cg","ranks":8}`, false)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("batch submit while draining: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	resp = post("/v1/scenarios", `{"app":"cg","ranks":8,"output":"finish"}`, true)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("stream submit while draining: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("stream 503 without Retry-After")
+	}
+
+	// The parked job is not a casualty: release the slot, it finishes,
+	// and the drain reports it flushed.
+	<-m.slots
+	res1, err := j1.Wait(t.Context())
+	if err != nil {
+		t.Fatalf("in-flight job failed during drain: %v", err)
+	}
+	select {
+	case d := <-done:
+		if d.err != nil {
+			t.Fatalf("Drain: %v", d.err)
+		}
+		if d.flushed != 1 {
+			t.Fatalf("Drain flushed %d jobs, want 1", d.flushed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain never returned after the last job finished")
+	}
+
+	// Cached reads outlive the drain: the same request answers from the
+	// result cache with no admission, byte-identical to the live run.
+	j2, err := m.Submit(AnalyzeRequest{App: "cg", Ranks: 4})
+	if err != nil {
+		t.Fatalf("cached submit while drained: %v", err)
+	}
+	res2, err := j2.Wait(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res1, res2) {
+		t.Fatal("cached result differs from the drained job's bytes")
+	}
+	resp = post("/v1/analyze", `{"app":"cg","ranks":4}`, false)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached request while drained: status %d, want 200", resp.StatusCode)
+	}
+	var out json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrainTimeout: a drain whose context expires reports the cause but
+// leaves the manager draining — a retried Drain keeps waiting instead
+// of re-admitting work.
+func TestDrainTimeout(t *testing.T) {
+	eng := engine.New(1)
+	m, err := NewManager(Options{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.slots <- struct{}{}
+	j, err := m.Submit(AnalyzeRequest{App: "cg", Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	flushed, err := m.Drain(ctx)
+	if err == nil {
+		t.Fatal("Drain returned clean with a job still in flight")
+	}
+	if flushed != 1 {
+		t.Fatalf("expired Drain reported %d in flight, want 1", flushed)
+	}
+	if !m.Draining() {
+		t.Fatal("manager stopped draining after Drain's context expired")
+	}
+	<-m.slots
+	if _, err := j.Wait(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if flushed, err := m.Drain(context.Background()); err != nil || flushed != 0 {
+		t.Fatalf("retried Drain: flushed %d, err %v", flushed, err)
+	}
+}

@@ -184,12 +184,16 @@ func NewHandler(m *Manager) http.Handler {
 	submit := func(w http.ResponseWriter, r *http.Request, req Request) {
 		job, err := m.Submit(req)
 		if err != nil {
-			if errors.Is(err, ErrQueueFull) {
+			if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining) {
 				m.log.LogAttrs(r.Context(), slog.LevelWarn, "submission rejected",
 					slog.String("request_id", RequestID(r.Context())),
 					slog.String("error", err.Error()))
+				status := http.StatusTooManyRequests
+				if errors.Is(err, ErrDraining) {
+					status = http.StatusServiceUnavailable
+				}
 				w.Header().Set("Retry-After", "1")
-				writeError(w, http.StatusTooManyRequests, err)
+				writeError(w, status, err)
 				return
 			}
 			writeError(w, http.StatusBadRequest, err)

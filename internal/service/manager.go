@@ -43,6 +43,13 @@ const DefaultPointCacheEntries = 4096
 // Retry-After.
 var ErrQueueFull = errors.New("service: job queue full")
 
+// ErrDraining rejects a submission while the manager drains for
+// shutdown — the signal the HTTP layer maps to 503 + Retry-After so
+// well-behaved clients back off and retry against a restarted server.
+// Cache hits and singleflight attaches are still served while draining:
+// they cost no new computation.
+var ErrDraining = errors.New("service: draining, not accepting new jobs")
+
 // maxRetainedJobs bounds the completed-job history kept for polling;
 // oldest finished jobs are pruned first. In-flight jobs are never pruned.
 const maxRetainedJobs = 1024
@@ -126,6 +133,7 @@ type Manager struct {
 	deduped  uint64
 	queued   int    // jobs admitted but not yet holding a slot
 	rejected uint64 // submissions refused with ErrQueueFull
+	draining bool   // Drain called: no new computations admitted
 }
 
 // scenarioPointStore adapts the point LRU to the planner's PointCache.
@@ -303,6 +311,10 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		j.complete(b, nil)
 		return j, nil
 	}
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
 	if !m.admitLocked() {
 		m.mu.Unlock()
 		return nil, ErrQueueFull
@@ -404,6 +416,43 @@ func (m *Manager) run(j *Job, t *task) {
 		attrs = append(attrs, slog.String("error", err.Error()))
 	}
 	m.log.LogAttrs(context.Background(), level, "job finished", attrs...)
+}
+
+// Drain stops admitting new computations and waits for every in-flight
+// job — batch and streamed — to reach a terminal state. It returns how
+// many jobs were still in flight when the drain began (the flushed
+// count). Cached reads, singleflight attaches, and job polling keep
+// working throughout: the point is to stop new work, not to break
+// waiters. If ctx expires first Drain returns its cause; the manager
+// stays draining either way, so a retried Drain only waits, never
+// re-admits.
+func (m *Manager) Drain(ctx context.Context) (int, error) {
+	m.mu.Lock()
+	m.draining = true
+	flushing := len(m.inflight)
+	m.mu.Unlock()
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		m.mu.Lock()
+		n := len(m.inflight)
+		m.mu.Unlock()
+		if n == 0 {
+			return flushing, nil
+		}
+		select {
+		case <-ctx.Done():
+			return flushing, context.Cause(ctx)
+		case <-tick.C:
+		}
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
 }
 
 // Job returns a job by ID.

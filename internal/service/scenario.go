@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 )
 
 // KindScenario labels generic scenario jobs (POST /v1/scenarios).
@@ -40,6 +41,10 @@ type ScenarioRequest struct {
 	Axes []core.Axis `json:"axes,omitempty"`
 	// Output is finish (default), traffic, whatif, or report.
 	Output string `json:"output,omitempty"`
+	// Degradations is the base fault-injection spec every grid point
+	// starts from (see internal/faults); fault axes vary its fields per
+	// point. Omitted or zero means the healthy platform.
+	Degradations *faults.Spec `json:"degradations,omitempty"`
 }
 
 func (r ScenarioRequest) prepare(m *Manager) (*task, error) {
@@ -68,6 +73,9 @@ func (r ScenarioRequest) spec(m *Manager) (*core.Scenario, string, error) {
 	sc := core.Scenario{
 		Axes:   r.Axes,
 		Output: core.OutputKind(r.Output),
+	}
+	if r.Degradations != nil {
+		sc.Degradations = *r.Degradations
 	}
 	for _, f := range r.Flavors {
 		sc.Flavors = append(sc.Flavors, core.Flavor(f))

@@ -38,7 +38,9 @@ var ErrStoreFull = errors.New("service: artifact store full")
 // caches (the manager's compiled-program cache) drop their entries
 // instead of pinning them forever. Because names are content addresses,
 // disk entries are verified against their digest on load — a corrupted
-// file is reported, never served.
+// file is never served: it is quarantined (renamed to *.corrupt, counted
+// on store_corrupt_artifacts_total) and the digest reads as unknown, so
+// a later put of the true content can re-store it.
 type Store struct {
 	dir string
 
@@ -207,14 +209,16 @@ func (s *Store) GetTrace(digest string) (*trace.Trace, error) {
 	defer f.Close()
 	t, err := trace.ReadBinary(f)
 	if err != nil {
-		return nil, fmt.Errorf("service: disk trace %s: %w", digest, err)
+		s.quarantine(s.tracePath(digest))
+		return nil, fmt.Errorf("service: unknown trace %s (disk copy undecodable, quarantined: %v)", digest, err)
 	}
 	got, err := trace.Digest(t)
 	if err != nil {
 		return nil, err
 	}
 	if got != digest {
-		return nil, fmt.Errorf("service: disk trace %s corrupted (content digests %s)", digest, got)
+		s.quarantine(s.tracePath(digest))
+		return nil, fmt.Errorf("service: unknown trace %s (disk copy digests %s, quarantined)", digest, got)
 	}
 	s.mu.Lock()
 	var evicted []string
@@ -327,14 +331,16 @@ func (s *Store) GetPlatform(digest string) (network.Platform, error) {
 	defer f.Close()
 	p, err = network.ReadAnyPlatform(f)
 	if err != nil {
-		return network.Platform{}, fmt.Errorf("service: disk platform %s: %w", digest, err)
+		s.quarantine(s.platformPath(digest))
+		return network.Platform{}, fmt.Errorf("service: unknown platform %s (disk copy undecodable, quarantined: %v)", digest, err)
 	}
 	got, err := p.Digest()
 	if err != nil {
 		return network.Platform{}, err
 	}
 	if got != digest {
-		return network.Platform{}, fmt.Errorf("service: disk platform %s corrupted (content digests %s)", digest, got)
+		s.quarantine(s.platformPath(digest))
+		return network.Platform{}, fmt.Errorf("service: unknown platform %s (disk copy digests %s, quarantined)", digest, got)
 	}
 	s.mu.Lock()
 	if len(s.platforms) < maxStoredPlatforms {
@@ -413,6 +419,16 @@ func (s *Store) Counts() (traces, platforms int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.traces), len(s.platforms)
+}
+
+// quarantine moves a disk artifact that failed verification aside as
+// <path>.corrupt: the digest stops resolving (a later put of the true
+// content can re-store it) while the bytes stay on disk for forensics.
+// Best-effort — if the rename fails the file stays put and the next
+// read re-detects the corruption; either way the counter records it.
+func (s *Store) quarantine(path string) {
+	mStoreCorrupt.Inc()
+	os.Rename(path, path+".corrupt")
 }
 
 // atomicWrite writes data via a temp file + rename, so a crashed write

@@ -125,8 +125,83 @@ func TestStoreDetectsCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s2.GetTrace(td); err == nil || !strings.Contains(err.Error(), "corrupted") {
+	if _, err := s2.GetTrace(td); err == nil || !strings.Contains(err.Error(), "quarantined") {
 		t.Fatalf("corruption not detected: %v", err)
+	}
+	// The corrupt file was quarantined: moved aside as *.corrupt, so the
+	// digest now reads as plainly unknown and a later put of the true
+	// content can re-store it.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt file still at its content address (stat: %v)", err)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if _, err := s2.GetTrace(td); err == nil || strings.Contains(err.Error(), "quarantined") {
+		t.Fatalf("post-quarantine read should be a plain not-found: %v", err)
+	}
+	if d, err := s2.PutTrace(testTrace()); err != nil || d != td {
+		t.Fatalf("re-store after quarantine: %s, %v (want %s)", d, err, td)
+	}
+	if _, err := s2.GetTrace(td); err != nil {
+		t.Fatalf("re-stored trace unreadable: %v", err)
+	}
+}
+
+// TestStoreQuarantinesBitFlip flips one bit of each disk artifact — the
+// simplest disk-corruption model — and verifies the store never serves
+// the damaged bytes: the read fails, the file is quarantined, and the
+// corruption counter moves.
+func TestStoreQuarantinesBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := s1.PutTrace(testTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := s1.PutPlatform(network.Testbed(4).Platform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := func(path string, off int) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2+off] ^= 0x40
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tracePath := filepath.Join(dir, strings.ReplaceAll(td, ":", "-")+".dimbin")
+	platPath := filepath.Join(dir, strings.ReplaceAll(pd, ":", "-")+".platform.json")
+	flip(tracePath, 0)
+	flip(platPath, 0)
+
+	before := mStoreCorrupt.Value()
+	s2, err := NewStore(dir) // fresh store: nothing in the memory tier
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.GetTrace(td); err == nil {
+		t.Fatal("bit-flipped trace served")
+	}
+	if _, err := s2.GetPlatform(pd); err == nil {
+		t.Fatal("bit-flipped platform served")
+	}
+	for _, p := range []string{tracePath, platPath} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("%s not quarantined (stat: %v)", p, err)
+		}
+		if _, err := os.Stat(p + ".corrupt"); err != nil {
+			t.Fatalf("quarantine file for %s missing: %v", p, err)
+		}
+	}
+	if got := mStoreCorrupt.Value() - before; got != 2 {
+		t.Fatalf("store_corrupt_artifacts_total moved by %v, want 2", got)
 	}
 }
 

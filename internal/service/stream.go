@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -147,6 +148,9 @@ func (m *Manager) grantScenarioStream(key string) (j *Job, payload []byte, owner
 		j.complete(b, nil)
 		return j, b, false, nil
 	}
+	if m.draining {
+		return nil, nil, false, ErrDraining
+	}
 	if !m.admitLocked() {
 		return nil, nil, false, ErrQueueFull
 	}
@@ -174,9 +178,14 @@ func streamScenario(m *Manager, w http.ResponseWriter, r *http.Request, req Scen
 	}
 	j, cachedPayload, owner, err := m.grantScenarioStream(key)
 	if err != nil {
-		// Queue full: tell the client to back off and retry.
+		// Queue full or draining: tell the client to back off and retry
+		// (against the restarted server, in the draining case).
+		status := http.StatusTooManyRequests
+		if errors.Is(err, ErrDraining) {
+			status = http.StatusServiceUnavailable
+		}
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, err)
+		writeError(w, status, err)
 		return
 	}
 	if !owner {

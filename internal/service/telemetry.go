@@ -14,6 +14,7 @@ var (
 	mHTTPRequests = telemetry.Default().CounterVec("http_requests_total", "HTTP requests served, by route pattern and status code", "endpoint", "code")
 	mHTTPSeconds  = telemetry.Default().HistogramVec("http_request_seconds", "HTTP request latency, by route pattern", 1e-9, "endpoint")
 	mQueueWait    = telemetry.Default().Histogram("service_queue_wait_seconds", "delay between job admission and execution-slot acquisition", 1e-9)
+	mStoreCorrupt = telemetry.Default().Counter("store_corrupt_artifacts_total", "disk-tier artifacts that failed digest verification and were quarantined (*.corrupt)")
 )
 
 // Manager-state instruments: gauges and counters that read the live

@@ -9,6 +9,7 @@ package sim
 import (
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/network"
 	"repro/internal/trace"
 )
@@ -57,6 +58,37 @@ func TestReplayAllocsHierarchical(t *testing.T) {
 	}
 	pinReplayAllocs(t, plat, allocRing(16, 25), 2)
 	pinReplayAllocs(t, plat.WithMapping(network.RoundRobinMapping()), allocRing(16, 25), 2)
+}
+
+// TestReplayAllocsFaulted pins the degraded path: soft faults (derate,
+// jitter, seeded stragglers) must not cost the warm replay its
+// zero-allocation property. All seeded draws resolve into arena-owned
+// buffers at reset time; the replay itself reads immutable fault state.
+func TestReplayAllocsFaulted(t *testing.T) {
+	plat := pdesPlatform(16, 4).WithDegradations(faults.Spec{
+		DerateInter:     0.6,
+		DerateIntra:     0.8,
+		JitterFrac:      0.25,
+		Stragglers:      2,
+		StragglerFactor: 3,
+		Seed:            11,
+	})
+	pinReplayAllocs(t, plat, allocRing(16, 25), 2)
+}
+
+// TestReplayAllocsHardFaulted pins the list-valued hard-fault path.
+// Canonicalizing explicit DownNodes/DownLinks lists copies them once
+// per replay — a small per-replay constant, never per-record. The
+// downed link joins two nodes the block-mapped ring never connects, so
+// the linkFaulted check runs on every inter-node transfer without
+// severing the run.
+func TestReplayAllocsHardFaulted(t *testing.T) {
+	plat := pdesPlatform(16, 4).WithDegradations(faults.Spec{
+		DerateInter: 0.6,
+		DownLinks:   [][2]int{{0, 2}},
+		Seed:        11,
+	})
+	pinReplayAllocs(t, plat, allocRing(16, 25), 6)
 }
 
 // TestPooledReplayAllocs pins the sweep primitive: after warm-up,

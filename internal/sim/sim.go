@@ -40,6 +40,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/network"
 	"repro/internal/trace"
 )
@@ -203,11 +204,25 @@ func summarize(res *Result) Summary {
 type DeadlockError struct {
 	Trace   string
 	Blocked []string
+	// Dropped counts transfers suppressed by injected hard faults (downed
+	// NICs or inter-node links, see faults.Spec) during this replay.
+	// Nonzero distinguishes a fault-induced stall — ranks waiting on
+	// messages that can never arrive — from a genuine trace deadlock: the
+	// degradation studies report the former as a per-point outcome while
+	// the latter stays a hard error.
+	Dropped int64
 }
 
 func (e *DeadlockError) Error() string {
+	if e.Dropped > 0 {
+		return fmt.Sprintf("sim: deadlock replaying %q: %v (%d transfers lost to injected NIC/link faults)", e.Trace, e.Blocked, e.Dropped)
+	}
 	return fmt.Sprintf("sim: deadlock replaying %q: %v", e.Trace, e.Blocked)
 }
+
+// FaultInduced reports whether the stall was caused by injected hard
+// faults rather than the trace's own communication structure.
+func (e *DeadlockError) FaultInduced() bool { return e.Dropped > 0 }
 
 // ErrNilTrace reports a replay requested without a trace.
 var ErrNilTrace = errors.New("sim: nil trace")
@@ -496,6 +511,25 @@ type ReplayArena struct {
 	stats          ReplayStats
 	replayStart    time.Time
 	shardEventsBuf []int64
+
+	// Fault-injection state, resolved from plat.Degradations by reset.
+	// The guard flags keep the healthy path byte-identical and cheap:
+	// with a zero-valued spec no fault arithmetic touches a time. All
+	// fields are read-only during a replay (PDES shards share them), and
+	// fxDropped is only mutated by inter-node launches, which execute on
+	// the coordinator alone.
+	fxOn       bool // any degradation active
+	fxHard     bool // any downed NIC or inter-node link
+	fxStrag    bool // any straggler rank
+	fxDerIntra float64
+	fxDerInter float64
+	fxJitter   float64
+	fxSeed     uint64
+	fxStragMul []float64 // per-rank compute multiplier (1 = healthy)
+	fxNICDown  []bool    // per-node downed NIC
+	fxPairs    []uint64  // downed node pairs, packed lo<<32|hi
+	fxPickBuf  []int32   // reusable buffer for seeded rank draws
+	fxDropped  int64     // transfers suppressed this replay
 }
 
 // NewArena returns an empty arena. Buffers grow to the working set of the
@@ -641,7 +675,10 @@ func (a *ReplayArena) finishReplay() (*Result, error) {
 		}
 	}
 	if blocked != nil {
-		return nil, &DeadlockError{Trace: a.prog.name, Blocked: blocked}
+		if a.fxDropped > 0 {
+			mFaultDropped.AddInt(a.fxDropped)
+		}
+		return nil, &DeadlockError{Trace: a.prog.name, Blocked: blocked, Dropped: a.fxDropped}
 	}
 	a.harvestStats()
 	return a.assemble(), nil
@@ -728,6 +765,7 @@ func (a *ReplayArena) reset(p network.Platform, prog *Program) {
 		a.nodeOf[r] = p.NodeOf(r)
 	}
 	a.resetPools(p)
+	a.resetFaults(p)
 
 	// Backing arrays for the match and handle state.
 	a.arrivalsBuf = grow(a.arrivalsBuf, prog.totalSends)
@@ -798,6 +836,80 @@ func (a *ReplayArena) reset(p network.Platform, prog *Program) {
 		a.rankIvs[r] = a.rankIvs[r][:0]
 	}
 	a.rankStats = grow(a.rankStats, prog.numRanks)
+}
+
+// resetFaults resolves the platform's Degradations spec into the
+// arena's per-replay fault state: seeded draws (straggler ranks, downed
+// links) are made once here, so the replay itself reads only immutable
+// buffers and every draw is a pure function of the spec — independent
+// of execution order, which keeps serial and PDES replays
+// byte-identical. A zero spec clears the guard flags and touches
+// nothing else, preserving the healthy path's zero-allocation replay.
+func (a *ReplayArena) resetFaults(p network.Platform) {
+	a.fxDropped = 0
+	d := p.Degradations.Canonical()
+	if d.IsZero() {
+		a.fxOn, a.fxHard, a.fxStrag = false, false, false
+		a.fxDerIntra, a.fxDerInter, a.fxJitter = 0, 0, 0
+		return
+	}
+	a.fxOn = true
+	a.fxDerIntra, a.fxDerInter, a.fxJitter = d.DerateIntra, d.DerateInter, d.JitterFrac
+	a.fxSeed = d.EffectiveSeed()
+
+	a.fxStrag = d.StragglerFactor > 1
+	if a.fxStrag {
+		a.fxStragMul = grow(a.fxStragMul, p.Processors)
+		for i := range a.fxStragMul {
+			a.fxStragMul[i] = 1
+		}
+		for _, r := range d.StragglerRanks {
+			a.fxStragMul[r] = d.StragglerFactor
+		}
+		if d.Stragglers > 0 {
+			a.fxPickBuf = faults.PickRanks(a.fxSeed, d.Stragglers, p.Processors, a.fxPickBuf[:0])
+			for _, r := range a.fxPickBuf {
+				a.fxStragMul[r] = d.StragglerFactor
+			}
+		}
+	}
+
+	a.fxHard = len(d.DownNodes) > 0 || len(d.DownLinks) > 0 || d.LinkDown > 0
+	if a.fxHard {
+		a.fxNICDown = grow(a.fxNICDown, p.Nodes)
+		for i := range a.fxNICDown {
+			a.fxNICDown[i] = false
+		}
+		for _, n := range d.DownNodes {
+			a.fxNICDown[n] = true
+		}
+		a.fxPairs = a.fxPairs[:0]
+		for _, pr := range d.DownLinks {
+			a.fxPairs = append(a.fxPairs, uint64(pr[0])<<32|uint64(pr[1]))
+		}
+		if d.LinkDown > 0 {
+			a.fxPairs = faults.PickPairs(a.fxSeed, d.LinkDown, p.Nodes, a.fxPairs)
+		}
+	}
+}
+
+// linkFaulted reports whether the inter-node path between two nodes is
+// severed by a downed NIC on either end or a downed direct link.
+func (a *ReplayArena) linkFaulted(sn, dn int) bool {
+	if a.fxNICDown[sn] || a.fxNICDown[dn] {
+		return true
+	}
+	lo, hi := sn, dn
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	key := uint64(lo)<<32 | uint64(hi)
+	for _, p := range a.fxPairs {
+		if p == key {
+			return true
+		}
+	}
+	return false
 }
 
 // resetPools recycles the resource calendars, rebuilding them only when
@@ -906,6 +1018,9 @@ func (a *ReplayArena) advance(rs *rankState, now float64, rt *shard) {
 		switch in.op {
 		case trace.KindCompute:
 			d := a.plat.ComputeSec(in.arg)
+			if a.fxStrag {
+				d *= a.fxStragMul[rank]
+			}
 			if d <= 0 {
 				rs.pc++
 				continue
@@ -1112,12 +1227,31 @@ func (a *ReplayArena) startSend(rs *rankState, rank int, in *instr, blocking boo
 // size/bandwidth terms. This keeps the chunked traces from paying the
 // latency once per chunk in *occupancy* (they still pay it per chunk in
 // flight time).
-func (a *ReplayArena) launch(streamID int32, seq int, bytes int64, t float64, commIdx int, rt *shard) float64 {
+// Under an active Degradations spec the transfer may additionally be
+// derated (serialization divided by the link class's derate factor),
+// jittered (inter-node latency scaled by a deterministic per-transfer
+// draw), or dropped outright when it crosses a downed NIC or link — a
+// dropped transfer occupies no resources, schedules no arrival, and
+// reports ok=false so a blocking rendezvous sender stays parked.
+func (a *ReplayArena) launch(streamID int32, seq int, bytes int64, t float64, commIdx int, rt *shard) (float64, bool) {
 	si := &a.prog.streams[streamID]
 	src, dst := int(si.src), int(si.dst)
 	intra := a.nodeOf[src] == a.nodeOf[dst]
+	if a.fxHard && !intra && a.linkFaulted(a.nodeOf[src], a.nodeOf[dst]) {
+		a.fxDropped++
+		return t, false
+	}
 	link := a.plat.LinkFor(intra)
 	ser := link.SerializationSec(bytes)
+	if a.fxOn {
+		if intra {
+			if a.fxDerIntra > 0 {
+				ser /= a.fxDerIntra
+			}
+		} else if a.fxDerInter > 0 {
+			ser /= a.fxDerInter
+		}
+	}
 	if !intra && a.plat.CongestionFactor > 0 && a.plat.Buses > 0 {
 		// Nonlinear congestion extension: transfers entering a loaded
 		// interconnect serialize slower. inFlight counts inter-node
@@ -1128,7 +1262,14 @@ func (a *ReplayArena) launch(streamID int32, seq int, bytes int64, t float64, co
 			ser *= 1 + a.plat.CongestionFactor*over
 		}
 	}
-	flight := link.LatencySec + ser
+	lat := link.LatencySec
+	if a.fxJitter > 0 && !intra {
+		// Jitter is a pure function of the transfer's compile-time
+		// identity (stream, seq) under the spec's seed: any replay —
+		// serial or sharded, first or cached-warm — draws the same value.
+		lat *= 1 + a.fxJitter*faults.Unit(a.fxSeed, uint64(streamID), uint64(seq))
+	}
+	flight := lat + ser
 	// Joint acquisition: find the earliest common start at which every
 	// pool of the transfer's resource set is free for the serialization
 	// window. The fixpoint loop converges because each probe only moves
@@ -1168,7 +1309,7 @@ func (a *ReplayArena) launch(streamID int32, seq int, bytes int64, t float64, co
 		a.inFlight++
 	}
 	a.sched(rt, arrive, evArrive, streamID, int32(seq))
-	return start + ser
+	return start + ser, true
 }
 
 // wakeRendezvous starts any rendezvous transfer whose matching post just
@@ -1188,8 +1329,14 @@ func (a *ReplayArena) wakeRendezvous(streamID int32, postSeq int, now float64, r
 	if now > start {
 		start = now
 	}
-	injectEnd := a.launch(streamID, int(pt.seq), pt.bytes, start, int(pt.commIdx), rt)
+	injectEnd, ok := a.launch(streamID, int(pt.seq), pt.bytes, start, int(pt.commIdx), rt)
 	if pt.blocking {
+		if !ok {
+			// The transfer crossed a downed NIC/link and can never
+			// inject: the blocking sender stays parked and the replay
+			// ends in a fault-attributed DeadlockError.
+			return
+		}
 		src := a.prog.streams[streamID].src
 		rs := &a.ranks[src]
 		a.addInterval(int(src), rs.blockStart, injectEnd, StateSendBlocked)

@@ -55,6 +55,7 @@ var (
 	mReplaySeconds = telemetry.Default().Histogram("sim_replay_seconds", "wall time of one replay, reset to finish", 1e-9)
 	mCalJumps      = telemetry.Default().Counter("sim_calqueue_cursor_jumps_total", "calendar-queue gap jumps (full bucket cycle without a hit)")
 	mCalRebuilds   = telemetry.Default().Counter("sim_calqueue_rebuilds_total", "calendar-queue redistributions")
+	mFaultDropped  = telemetry.Default().Counter("sim_fault_dropped_transfers_total", "transfers suppressed by injected hard faults (downed NICs/links)")
 
 	mPDESReplays       = telemetry.Default().Counter("sim_pdes_replays_total", "replays executed on the sharded (PDES) path")
 	mPDESWindows       = telemetry.Default().Counter("sim_pdes_windows_total", "conservative parallel windows (horizon advances)")
@@ -107,6 +108,9 @@ func (a *ReplayArena) harvestStats() {
 	}
 
 	mReplays.Inc()
+	if a.fxDropped > 0 {
+		mFaultDropped.AddInt(a.fxDropped)
+	}
 	mReplayEvents.AddInt(st.Events)
 	mReplaySeconds.Observe(st.ReplayNanos)
 	mCalJumps.AddInt(st.CursorJumps)
