@@ -27,12 +27,15 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/platformflag"
 	"repro/internal/service"
+	"repro/internal/service/client"
 )
 
 func main() {
@@ -48,6 +51,9 @@ func main() {
 	scenarioJSON := flag.Bool("scenario-json", false, "with -scenario, print the raw result JSON instead of the streamed point table")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM/SIGINT, how long to wait for in-flight jobs and streams to finish before closing the server")
 	logFormat := flag.String("log-format", "text", "structured log format: text|json")
+	clusterListen := flag.String("cluster-listen", "", "enable clustering: listen address of the peer RPC endpoint (e.g. 127.0.0.1:9201); peers dial http://<this address>")
+	nodeID := flag.String("node-id", "", "operator-chosen cluster node name (default: the advertised cluster address); the node's DHT identity is derived from it")
+	join := flag.String("join", "", "comma-separated cluster addresses of existing members to bootstrap from (e.g. http://127.0.0.1:9201,http://127.0.0.1:9202)")
 	tm := platformflag.RegisterTimings(flag.CommandLine)
 	flag.Parse()
 
@@ -109,6 +115,31 @@ func main() {
 		points = -1
 	}
 	eng := engine.New(*workers)
+
+	// Clustering: the node's RPC endpoint gets its own listener (peer
+	// traffic stays off the client port, though the API server mounts
+	// /v1/cluster/ too), and outbound RPCs ride the HTTP transport with
+	// a modest retry budget.
+	var node *cluster.Node
+	if *clusterListen != "" {
+		advertise := clusterAdvertise(*clusterListen)
+		name := *nodeID
+		if name == "" {
+			name = advertise
+		}
+		var err error
+		node, err = cluster.NewNode(cluster.Config{
+			Name:      name,
+			Addr:      advertise,
+			Transport: &client.ClusterTransport{Retry: client.RetryPolicy{Retries: 2}},
+			Logger:    logger,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	mgr, err := service.NewManager(service.Options{
 		Engine:            eng,
 		Store:             store,
@@ -117,6 +148,7 @@ func main() {
 		PointCacheEntries: points,
 		ReplayShards:      *replayShards,
 		Logger:            logger,
+		Cluster:           node,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
@@ -152,6 +184,50 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// The cluster RPC listener and the join loop. Joining retries: in a
+	// cluster booting all at once, the bootstrap peers may come up after
+	// this node does.
+	var clusterSrv *http.Server
+	if node != nil {
+		cmux := http.NewServeMux()
+		cmux.Handle("POST "+cluster.RPCPath, cluster.ServeRPC(node))
+		clusterSrv = &http.Server{
+			Addr:              *clusterListen,
+			Handler:           cmux,
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       60 * time.Second,
+			IdleTimeout:       120 * time.Second,
+		}
+		go func() {
+			logger.Info("cluster listening",
+				slog.String("addr", *clusterListen),
+				slog.String("node", node.Name()),
+				slog.String("id", node.Self().ID.String()))
+			if err := clusterSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("cluster listener failed", slog.String("error", err.Error()))
+			}
+		}()
+		go func() {
+			peers := splitJoin(*join)
+			for attempt := 0; ; attempt++ {
+				err := node.Join(ctx, peers...)
+				if err == nil {
+					logger.Info("cluster joined", slog.Int("peers", node.Table().Len()))
+					return
+				}
+				if attempt >= 9 || ctx.Err() != nil {
+					logger.Warn("cluster join failed", slog.String("error", err.Error()))
+					return
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(time.Second):
+				}
+			}
+		}()
+	}
 	go func() {
 		<-ctx.Done()
 		// Graceful drain, in two phases. First the manager stops
@@ -175,6 +251,12 @@ func main() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
+		if clusterSrv != nil {
+			// Peer RPCs close last: Drain already marked the node draining,
+			// so peers spent the whole drain window reading any values they
+			// still wanted and aging this node out of their tables.
+			clusterSrv.Shutdown(shutdownCtx)
+		}
 	}()
 
 	tier := "memory"
@@ -190,4 +272,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// clusterAdvertise turns a -cluster-listen address into the base URL
+// peers dial. A bare ":port" advertises the loopback host — fine for
+// single-machine clusters and CI; multi-host deployments pass an
+// explicit host:port.
+func clusterAdvertise(listen string) string {
+	if strings.HasPrefix(listen, ":") {
+		return "http://127.0.0.1" + listen
+	}
+	return "http://" + listen
+}
+
+// splitJoin parses the -join flag's comma-separated peer list.
+func splitJoin(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

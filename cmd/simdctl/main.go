@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/service"
 	"repro/internal/service/client"
@@ -35,7 +36,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "overall deadline for the command (0 = none)")
 	asJSON := flag.Bool("json", false, "with scenario: print the raw result JSON instead of the streamed point table")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: simdctl [flags] health|apps|platforms|jobs|metrics|scenario <spec.json>\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simdctl [flags] health|apps|platforms|jobs|metrics|cluster status|scenario <spec.json>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -89,6 +90,15 @@ func main() {
 			os.Exit(2)
 		}
 		err = runScenario(ctx, c, flag.Arg(1), *asJSON)
+	case "cluster":
+		if flag.NArg() != 2 || flag.Arg(1) != "status" {
+			fmt.Fprintln(os.Stderr, "simdctl: usage: cluster status")
+			os.Exit(2)
+		}
+		var st cluster.Status
+		if st, err = c.ClusterStatus(ctx); err == nil {
+			err = printJSON(st)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "simdctl: unknown command %q\n", cmd)
 		flag.Usage()

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Op names one cluster RPC. The first four are Kademlia's; OpExec is
+// the one addition, carrying an opaque request for the owner of a key
+// to execute (the service layer uses it to run a scenario on the node
+// that owns its digest).
+type Op string
+
+const (
+	// OpPing is the liveness probe; its response refreshes routing
+	// tables and carries the peer's draining flag.
+	OpPing Op = "ping"
+	// OpStore replicates a value to one of its key's K closest nodes.
+	OpStore Op = "store"
+	// OpFindNode returns the receiver's K closest contacts to a key.
+	OpFindNode Op = "find_node"
+	// OpFindValue returns a stored value, or the K closest contacts to
+	// keep the lookup converging.
+	OpFindValue Op = "find_value"
+	// OpExec asks the receiver — the key's owner — to execute an opaque
+	// request and return the result bytes.
+	OpExec Op = "exec"
+)
+
+// Wire limits. Values carry whole artifacts (a binary trace tops out at
+// the service's 64 MiB upload bound), keys are digest strings, kinds
+// are short labels.
+const (
+	// MaxValueBytes bounds Request.Value and Response.Value.
+	MaxValueBytes = 64 << 20
+	// MaxKeyBytes bounds Request.Key ("sha256:" + 64 hex is 71 bytes;
+	// the bound leaves headroom for other key schemes).
+	MaxKeyBytes = 256
+	// MaxKindBytes bounds Request.Kind.
+	MaxKindBytes = 64
+	// MaxContacts bounds Response.Contacts.
+	MaxContacts = 64
+)
+
+// Request is one cluster RPC envelope.
+type Request struct {
+	// Op selects the RPC.
+	Op Op `json:"op"`
+	// From identifies the caller; every received request refreshes the
+	// receiver's routing table with it.
+	From Contact `json:"from"`
+	// Key is the target key (all ops but ping).
+	Key string `json:"key,omitempty"`
+	// Kind labels what a stored/executed value is ("trace", "platform",
+	// "point", or a service request kind for exec).
+	Kind string `json:"kind,omitempty"`
+	// Value is the payload of store and exec.
+	Value []byte `json:"value,omitempty"`
+}
+
+// Response answers one RPC.
+type Response struct {
+	// From identifies the responder (its current contact info).
+	From Contact `json:"from"`
+	// Draining is set while the responder is leaving the cluster: it
+	// still serves reads of keys it holds, but refuses fresh stores and
+	// exec work, and callers should age it out of their tables.
+	Draining bool `json:"draining,omitempty"`
+	// Stored acknowledges a store.
+	Stored bool `json:"stored,omitempty"`
+	// Found is set when a find_value located the key; Value carries it.
+	Found bool `json:"found,omitempty"`
+	// Value is the located value (find_value) or the exec result.
+	Value []byte `json:"value,omitempty"`
+	// Kind labels Value on a found find_value.
+	Kind string `json:"kind,omitempty"`
+	// Contacts are the responder's K closest nodes to the key
+	// (find_node, and find_value misses).
+	Contacts []Contact `json:"contacts,omitempty"`
+	// Err carries an application-level failure (exec errors, refusals).
+	Err string `json:"error,omitempty"`
+}
+
+// validOp reports whether op is one of the five RPCs.
+func validOp(op Op) bool {
+	switch op {
+	case OpPing, OpStore, OpFindNode, OpFindValue, OpExec:
+		return true
+	}
+	return false
+}
+
+// DecodeRequest parses and validates one RPC envelope from the wire.
+// Decoding is strict — unknown fields, trailing data, oversized keys or
+// values, and malformed ops are all errors — because every node accepts
+// these bytes from the network; the fuzz target in fuzz_test.go chews
+// on exactly this entry point.
+func DecodeRequest(data []byte) (*Request, error) {
+	if len(data) > MaxValueBytes+MaxKeyBytes+MaxKindBytes+1024 {
+		return nil, fmt.Errorf("cluster: request of %d bytes exceeds wire bound", len(data))
+	}
+	var req Request
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("cluster: decode request: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("cluster: trailing data after request")
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// Validate checks an envelope's shape against the wire limits and each
+// op's required fields.
+func (r *Request) Validate() error {
+	if !validOp(r.Op) {
+		return fmt.Errorf("cluster: unknown op %q", r.Op)
+	}
+	if len(r.Key) > MaxKeyBytes {
+		return fmt.Errorf("cluster: key of %d bytes exceeds %d", len(r.Key), MaxKeyBytes)
+	}
+	if len(r.Kind) > MaxKindBytes {
+		return fmt.Errorf("cluster: kind of %d bytes exceeds %d", len(r.Kind), MaxKindBytes)
+	}
+	if len(r.Value) > MaxValueBytes {
+		return fmt.Errorf("cluster: value of %d bytes exceeds %d", len(r.Value), MaxValueBytes)
+	}
+	switch r.Op {
+	case OpStore:
+		if r.Key == "" || len(r.Value) == 0 {
+			return fmt.Errorf("cluster: store needs key and value")
+		}
+	case OpFindNode, OpFindValue:
+		if r.Key == "" {
+			return fmt.Errorf("cluster: %s needs a key", r.Op)
+		}
+	case OpExec:
+		if r.Kind == "" || len(r.Value) == 0 {
+			return fmt.Errorf("cluster: exec needs kind and value")
+		}
+	}
+	return nil
+}
+
+// Encode serializes the envelope for the wire.
+func (r *Request) Encode() ([]byte, error) { return json.Marshal(r) }
+
+// DecodeResponse parses one RPC response with the same strictness as
+// DecodeRequest.
+func DecodeResponse(data []byte) (*Response, error) {
+	if len(data) > MaxValueBytes+MaxKeyBytes+MaxKindBytes+1024 {
+		return nil, fmt.Errorf("cluster: response of %d bytes exceeds wire bound", len(data))
+	}
+	var resp Response
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("cluster: decode response: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("cluster: trailing data after response")
+	}
+	if len(resp.Contacts) > MaxContacts {
+		return nil, fmt.Errorf("cluster: response carries %d contacts, limit %d", len(resp.Contacts), MaxContacts)
+	}
+	if len(resp.Value) > MaxValueBytes {
+		return nil, fmt.Errorf("cluster: response value of %d bytes exceeds %d", len(resp.Value), MaxValueBytes)
+	}
+	return &resp, nil
+}
+
+// Encode serializes the response for the wire.
+func (r *Response) Encode() ([]byte, error) { return json.Marshal(r) }

@@ -1,0 +1,616 @@
+package cluster
+
+import (
+	"bytes"
+	"container/list"
+	"context"
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tuning defaults. K doubles as bucket capacity and replication factor
+// (Kademlia couples them); Alpha is the lookup's parallelism.
+const (
+	// DefaultK is the bucket size and replication factor. 8 suits the
+	// cluster sizes simd runs at (a handful to tens of nodes); the
+	// classic 20 only pays off at millions.
+	DefaultK = 8
+	// DefaultAlpha is how many peers an iterative lookup queries
+	// concurrently per round.
+	DefaultAlpha = 3
+	// DefaultMaxBlobs bounds the local blob store (values replicated to
+	// this node), evicting least recently used beyond it.
+	DefaultMaxBlobs = 16384
+	// DefaultPingTimeout bounds the liveness probe a full bucket issues
+	// before evicting its least-recently-seen member.
+	DefaultPingTimeout = 2 * time.Second
+)
+
+// Executor runs an opaque exec request on behalf of a peer — the hook
+// the service layer registers so OpExec reaches its job manager. The
+// returned bytes travel back verbatim as the RPC response value.
+type Executor func(ctx context.Context, kind string, payload []byte) ([]byte, error)
+
+// Config assembles a Node.
+type Config struct {
+	// Name is the operator-chosen node identity (-node-id); the node's
+	// 160-bit ID is NodeID(Name).
+	Name string
+	// Addr is the address peers reach this node at, in whatever scheme
+	// Transport speaks ("host:port" for HTTP, any label in-process).
+	Addr string
+	// Transport carries outbound RPCs. Required.
+	Transport Transport
+	// K overrides the bucket size / replication factor (DefaultK).
+	K int
+	// Alpha overrides the lookup parallelism (DefaultAlpha).
+	Alpha int
+	// MaxBlobs overrides the local blob-store bound (DefaultMaxBlobs).
+	MaxBlobs int
+	// PingTimeout overrides the eviction probe deadline.
+	PingTimeout time.Duration
+	// Logger receives the node's structured logs; nil discards them.
+	Logger *slog.Logger
+}
+
+// Node is one cluster member: a routing table, a bounded local blob
+// store, and the RPC surface. All methods are safe for concurrent use.
+type Node struct {
+	name     string
+	self     Contact
+	k        int
+	alpha    int
+	pingWait time.Duration
+	tr       Transport
+	table    *RoutingTable
+	blobs    *blobStore
+	log      *slog.Logger
+	draining atomic.Bool
+	exec     atomic.Pointer[Executor]
+}
+
+// NewNode builds a node from cfg. It holds no sockets itself — the
+// transport does — so construction never fails except on a missing
+// transport or name.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("cluster: node needs a transport")
+	}
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("cluster: node needs a name")
+	}
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("cluster: node needs an address")
+	}
+	k := cfg.K
+	if k <= 0 {
+		k = DefaultK
+	}
+	alpha := cfg.Alpha
+	if alpha <= 0 {
+		alpha = DefaultAlpha
+	}
+	maxBlobs := cfg.MaxBlobs
+	if maxBlobs <= 0 {
+		maxBlobs = DefaultMaxBlobs
+	}
+	pingWait := cfg.PingTimeout
+	if pingWait <= 0 {
+		pingWait = DefaultPingTimeout
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(discardHandler{})
+	}
+	n := &Node{
+		name:     cfg.Name,
+		self:     Contact{ID: NodeID(cfg.Name), Addr: cfg.Addr},
+		k:        k,
+		alpha:    alpha,
+		pingWait: pingWait,
+		tr:       cfg.Transport,
+		blobs:    newBlobStore(maxBlobs),
+		log:      log,
+	}
+	n.table = NewRoutingTable(n.self.ID, k, n.evictionPing)
+	publishNodeMetrics(n)
+	return n, nil
+}
+
+// Self returns this node's contact.
+func (n *Node) Self() Contact { return n.self }
+
+// Name returns the operator-chosen node name.
+func (n *Node) Name() string { return n.name }
+
+// K returns the replication factor.
+func (n *Node) K() int { return n.k }
+
+// Table exposes the routing table (status surfaces and tests).
+func (n *Node) Table() *RoutingTable { return n.table }
+
+// SetExecutor registers the exec hook (see Executor).
+func (n *Node) SetExecutor(e Executor) {
+	if e == nil {
+		n.exec.Store(nil)
+		return
+	}
+	n.exec.Store(&e)
+}
+
+// Draining reports whether Drain was called.
+func (n *Node) Draining() bool { return n.draining.Load() }
+
+// Drain flips the node into its polite exit: it keeps answering reads
+// of values it already holds (a draining node never strands results),
+// refuses fresh stores, and marks every response Draining so peers
+// evict it from their tables instead of routing new work here.
+func (n *Node) Drain() { n.draining.Store(true) }
+
+// ---------------------------------------------------------------------------
+// RPC receive path
+
+// HandleRPC is the node's RPC entry point; transports route every
+// received request here. It never returns nil.
+func (n *Node) HandleRPC(ctx context.Context, req *Request) *Response {
+	resp := &Response{From: n.self, Draining: n.draining.Load()}
+	if err := req.Validate(); err != nil {
+		resp.Err = err.Error()
+		mRPCErrors.With(string(req.Op)).Inc()
+		return resp
+	}
+	mRPCs.With(string(req.Op), "served").Inc()
+	if req.From.ID != n.self.ID {
+		n.table.Update(req.From)
+	}
+	switch req.Op {
+	case OpPing:
+		// The response envelope is the whole answer.
+	case OpStore:
+		if resp.Draining && !n.blobs.Has(req.Key) {
+			// Fresh keys are refused while draining; re-replication of
+			// keys already held stays welcome so nothing regresses.
+			resp.Err = "cluster: node draining, not accepting new keys"
+			return resp
+		}
+		n.blobs.Put(req.Key, req.Kind, req.Value)
+		resp.Stored = true
+	case OpFindNode:
+		resp.Contacts = n.table.KClosest(KeyID(req.Key), n.k)
+	case OpFindValue:
+		if v, kind, ok := n.blobs.Get(req.Key); ok {
+			resp.Found = true
+			resp.Value = v
+			resp.Kind = kind
+			return resp
+		}
+		resp.Contacts = n.table.KClosest(KeyID(req.Key), n.k)
+	case OpExec:
+		ep := n.exec.Load()
+		if ep == nil {
+			resp.Err = "cluster: node has no executor"
+			return resp
+		}
+		out, err := (*ep)(ctx, req.Kind, req.Value)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.Value = out
+	}
+	return resp
+}
+
+// ---------------------------------------------------------------------------
+// RPC send path
+
+// call issues one RPC and folds the answer into the routing table: a
+// healthy responder is refreshed, a draining one is removed (that is
+// how a departing node ages out), and a transport failure evicts the
+// contact so lookups stop routing through it.
+func (n *Node) call(ctx context.Context, to Contact, req *Request) (*Response, error) {
+	req.From = n.self
+	mRPCs.With(string(req.Op), "sent").Inc()
+	resp, err := n.tr.Call(ctx, to.Addr, req)
+	if err != nil {
+		mRPCErrors.With(string(req.Op)).Inc()
+		if !to.ID.IsZero() {
+			n.table.Remove(to.ID)
+		}
+		return nil, err
+	}
+	if resp.Draining {
+		n.table.Remove(resp.From.ID)
+	} else if resp.From.ID != n.self.ID {
+		n.table.Update(resp.From)
+	}
+	return resp, nil
+}
+
+// evictionPing is the routing table's liveness probe: a raw transport
+// ping with no table side effects (Update runs inside the probe's
+// caller; feeding results back would recurse).
+func (n *Node) evictionPing(c Contact) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), n.pingWait)
+	defer cancel()
+	mRPCs.With(string(OpPing), "sent").Inc()
+	resp, err := n.tr.Call(ctx, c.Addr, &Request{Op: OpPing, From: n.self})
+	return err == nil && resp.Err == "" && !resp.Draining
+}
+
+// Ping probes addr and returns the peer's contact.
+func (n *Node) Ping(ctx context.Context, addr string) (Contact, error) {
+	resp, err := n.call(ctx, Contact{Addr: addr}, &Request{Op: OpPing})
+	if err != nil {
+		return Contact{}, err
+	}
+	if resp.Err != "" {
+		return Contact{}, fmt.Errorf("cluster: ping %s: %s", addr, resp.Err)
+	}
+	return resp.From, nil
+}
+
+// Join bootstraps into the cluster through the given peer addresses:
+// each reachable bootstrap lands in the routing table, then a lookup of
+// the node's own ID walks outward and fills nearby buckets — the
+// standard Kademlia join. At least one bootstrap must answer.
+func (n *Node) Join(ctx context.Context, addrs ...string) error {
+	reached := 0
+	for _, addr := range addrs {
+		if addr == "" || addr == n.self.Addr {
+			continue
+		}
+		c, err := n.Ping(ctx, addr)
+		if err != nil {
+			n.log.Warn("cluster: bootstrap unreachable", slog.String("addr", addr), slog.String("error", err.Error()))
+			continue
+		}
+		reached++
+		n.log.Info("cluster: joined via bootstrap",
+			slog.String("addr", addr), slog.String("peer", c.ID.String()))
+	}
+	if reached == 0 && len(addrs) > 0 {
+		return fmt.Errorf("cluster: no bootstrap peer reachable (tried %v)", addrs)
+	}
+	n.iterate(ctx, n.self.ID, "", false)
+	return nil
+}
+
+// iterate is the α-parallel convergent lookup shared by find-node and
+// find-value: it keeps a shortlist of the closest known contacts,
+// queries the α closest not yet asked, folds returned contacts back
+// in, and stops when the K closest have all been queried (or a value
+// turns up). Returns the found response (nil if none) and the final
+// K-closest shortlist.
+func (n *Node) iterate(ctx context.Context, target ID, key string, wantValue bool) (*Response, []Contact) {
+	if key == "" {
+		key = "id:" + target.String()
+	}
+	op := OpFindNode
+	if wantValue {
+		op = OpFindValue
+	}
+	type result struct {
+		resp *Response
+		from Contact
+	}
+	shortlist := map[ID]Contact{}
+	queried := map[ID]bool{n.self.ID: true}
+	for _, c := range n.table.KClosest(target, n.k) {
+		shortlist[c.ID] = c
+	}
+	for {
+		// The next α closest contacts not yet asked.
+		candidates := make([]Contact, 0, len(shortlist))
+		for id, c := range shortlist {
+			if !queried[id] {
+				candidates = append(candidates, c)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sortByDistance(target, candidates)
+		if len(candidates) > n.alpha {
+			candidates = candidates[:n.alpha]
+		}
+		results := make(chan result, len(candidates))
+		for _, c := range candidates {
+			queried[c.ID] = true
+			go func(c Contact) {
+				resp, err := n.call(ctx, c, &Request{Op: op, Key: key})
+				if err != nil {
+					results <- result{}
+					return
+				}
+				results <- result{resp: resp, from: c}
+			}(c)
+		}
+		var found *Response
+		for range candidates {
+			r := <-results
+			if r.resp == nil {
+				continue
+			}
+			if wantValue && r.resp.Found {
+				found = r.resp
+				continue
+			}
+			for _, c := range r.resp.Contacts {
+				if c.ID == n.self.ID || c.ID.IsZero() || c.Addr == "" {
+					continue
+				}
+				if _, ok := shortlist[c.ID]; !ok {
+					shortlist[c.ID] = c
+				}
+			}
+		}
+		if found != nil {
+			return found, closestOf(shortlist, target, n.k)
+		}
+		// Converged when the K closest known contacts have all answered.
+		done := true
+		for _, c := range closestOf(shortlist, target, n.k) {
+			if !queried[c.ID] {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+	return nil, closestOf(shortlist, target, n.k)
+}
+
+// closestOf sorts a shortlist and returns its k nearest members.
+func closestOf(m map[ID]Contact, target ID, k int) []Contact {
+	out := make([]Contact, 0, len(m))
+	for _, c := range m {
+		out = append(out, c)
+	}
+	sortByDistance(target, out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// The DHT surface
+
+// Owner returns the cluster member closest to key — the node that owns
+// its computation. The decision reads only the local routing table (no
+// RPCs): with converged tables every node names the same owner, and a
+// stale table merely shifts work to a near-owner, which the service
+// layer's fallbacks absorb.
+func (n *Node) Owner(key string) Contact {
+	target := KeyID(key)
+	best := n.self
+	for _, c := range n.table.KClosest(target, 1) {
+		if Closer(target, c.ID, best.ID) {
+			best = c
+		}
+	}
+	return best
+}
+
+// Owners returns the K closest cluster members to key (self included
+// when it qualifies) — the key's replica set.
+func (n *Node) Owners(key string) []Contact {
+	target := KeyID(key)
+	cs := append(n.table.KClosest(target, n.k), n.self)
+	sortByDistance(target, cs)
+	if len(cs) > n.k {
+		cs = cs[:n.k]
+	}
+	return cs
+}
+
+// Store replicates a value to its key's K closest nodes (self included
+// when it qualifies; a draining node skips its own copy). Returns how
+// many replicas acknowledged. Failing peers are skipped — replication
+// is best effort; the content address makes re-derivation safe.
+func (n *Node) Store(ctx context.Context, key, kind string, value []byte) int {
+	stored := 0
+	for _, c := range n.Owners(key) {
+		if c.ID == n.self.ID {
+			if !n.draining.Load() {
+				n.blobs.Put(key, kind, value)
+				stored++
+			}
+			continue
+		}
+		resp, err := n.call(ctx, c, &Request{Op: OpStore, Key: key, Kind: kind, Value: value})
+		if err != nil || resp.Err != "" || !resp.Stored {
+			continue
+		}
+		stored++
+	}
+	if stored > 0 {
+		mStores.Add(uint64(stored))
+	}
+	return stored
+}
+
+// Get fetches a value by key: the local blob store first, then an
+// iterative find-value across the cluster. A remote hit is cached
+// locally (the cooperative-cache read-through).
+func (n *Node) Get(ctx context.Context, key string) ([]byte, string, bool) {
+	if v, kind, ok := n.blobs.Get(key); ok {
+		return v, kind, true
+	}
+	if n.table.Len() == 0 {
+		return nil, "", false
+	}
+	resp, _ := n.iterate(ctx, KeyID(key), key, true)
+	if resp == nil || !resp.Found {
+		return nil, "", false
+	}
+	n.blobs.Put(key, resp.Kind, resp.Value)
+	return resp.Value, resp.Kind, true
+}
+
+// Has reports whether the key is in the local blob store.
+func (n *Node) Has(key string) bool { return n.blobs.Has(key) }
+
+// GetCached returns a locally held value without touching the network —
+// for callers that have a cheaper plan than a cluster lookup when the
+// blob is not already here (e.g. computing a self-owned grid point).
+func (n *Node) GetCached(key string) ([]byte, string, bool) { return n.blobs.Get(key) }
+
+// Exec runs an opaque request on a specific peer — the cross-node
+// singleflight's forwarding edge. The callee's executor errors come
+// back as errors here.
+func (n *Node) Exec(ctx context.Context, to Contact, kind string, payload []byte) ([]byte, error) {
+	resp, err := n.call(ctx, to, &Request{Op: OpExec, Kind: kind, Value: payload})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("cluster: exec on %s: %s", to.Addr, resp.Err)
+	}
+	return resp.Value, nil
+}
+
+// ---------------------------------------------------------------------------
+// Status
+
+// Status is the introspection document behind GET /v1/cluster/status
+// and `simdctl cluster status`.
+type Status struct {
+	Name     string `json:"name"`
+	ID       ID     `json:"id"`
+	Addr     string `json:"addr"`
+	Draining bool   `json:"draining"`
+	// K is the bucket size / replication factor.
+	K int `json:"k"`
+	// Peers is every routing-table contact, ordered by ID.
+	Peers []Contact `json:"peers"`
+	// StoredKeys counts local blob-store entries; KeysByKind splits
+	// them by kind; OwnedKeys counts the subset this node is the
+	// cluster-wide owner of.
+	StoredKeys int            `json:"stored_keys"`
+	OwnedKeys  int            `json:"owned_keys"`
+	KeysByKind map[string]int `json:"keys_by_kind,omitempty"`
+}
+
+// Status snapshots the node.
+func (n *Node) Status() Status {
+	peers := n.table.Contacts()
+	sort.Slice(peers, func(i, j int) bool {
+		return bytes.Compare(peers[i].ID[:], peers[j].ID[:]) < 0
+	})
+	st := Status{
+		Name:     n.name,
+		ID:       n.self.ID,
+		Addr:     n.self.Addr,
+		Draining: n.draining.Load(),
+		K:        n.k,
+		Peers:    peers,
+	}
+	keys := n.blobs.Keys()
+	st.StoredKeys = len(keys)
+	st.KeysByKind = map[string]int{}
+	for _, k := range keys {
+		st.KeysByKind[k.kind]++
+		if n.Owner(k.key).ID == n.self.ID {
+			st.OwnedKeys++
+		}
+	}
+	if len(st.KeysByKind) == 0 {
+		st.KeysByKind = nil
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// Local blob store
+
+// blobKey pairs a stored key with its kind label (status reporting).
+type blobKey struct{ key, kind string }
+
+// blobStore is the bounded local value store: an LRU over replicated
+// blobs, so a node holds the hot slice of its key range and quietly
+// forgets the cold tail (content addressing makes re-derivation safe).
+type blobStore struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type blobEntry struct {
+	key, kind string
+	value     []byte
+}
+
+func newBlobStore(max int) *blobStore {
+	return &blobStore{max: max, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+func (s *blobStore) Put(key, kind string, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*blobEntry).kind = kind
+		el.Value.(*blobEntry).value = value
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(&blobEntry{key: key, kind: kind, value: value})
+	for s.ll.Len() > s.max {
+		el := s.ll.Back()
+		s.ll.Remove(el)
+		delete(s.items, el.Value.(*blobEntry).key)
+	}
+}
+
+func (s *blobStore) Get(key string) ([]byte, string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, "", false
+	}
+	s.ll.MoveToFront(el)
+	e := el.Value.(*blobEntry)
+	return e.value, e.kind, true
+}
+
+func (s *blobStore) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.items[key]
+	return ok
+}
+
+func (s *blobStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+func (s *blobStore) Keys() []blobKey {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]blobKey, 0, len(s.items))
+	for el := s.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*blobEntry)
+		out = append(out, blobKey{key: e.key, kind: e.kind})
+	}
+	return out
+}
+
+// discardHandler is a slog.Handler that drops everything (the library
+// default, so embedders stay quiet unless they opt in).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }

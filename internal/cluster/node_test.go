@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// testCluster spins up n in-process nodes, fully joined through node 0.
+func testCluster(t *testing.T, n int) (*MemNetwork, []*Node) {
+	t.Helper()
+	net := NewMemNetwork()
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		addr := fmt.Sprintf("node-%d", i)
+		node, err := NewNode(Config{Name: addr, Addr: addr, Transport: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Attach(addr, node.HandleRPC)
+		nodes[i] = node
+	}
+	for i := 1; i < n; i++ {
+		if err := nodes[i].Join(context.Background(), nodes[0].Self().Addr); err != nil {
+			t.Fatalf("node %d join: %v", i, err)
+		}
+	}
+	// One more self-lookup round so early joiners learn late ones.
+	for _, nd := range nodes {
+		nd.iterate(context.Background(), nd.Self().ID, "", false)
+	}
+	return net, nodes
+}
+
+func TestJoinPopulatesTables(t *testing.T) {
+	_, nodes := testCluster(t, 5)
+	for i, nd := range nodes {
+		if got := nd.Table().Len(); got != 4 {
+			t.Fatalf("node %d knows %d peers, want 4", i, got)
+		}
+	}
+}
+
+func TestStoreGetAcrossCluster(t *testing.T) {
+	ctx := context.Background()
+	_, nodes := testCluster(t, 5)
+	key := "sha256:aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+	val := []byte("the artifact")
+	if stored := nodes[1].Store(ctx, key, "blob", val); stored == 0 {
+		t.Fatal("no replica acknowledged the store")
+	}
+	// Every node — including ones outside the replica set — finds it.
+	for i, nd := range nodes {
+		got, kind, ok := nd.Get(ctx, key)
+		if !ok {
+			t.Fatalf("node %d did not find the key", i)
+		}
+		if string(got) != string(val) || kind != "blob" {
+			t.Fatalf("node %d got %q kind %q", i, got, kind)
+		}
+	}
+	// The K closest replicated it locally (5 nodes < DefaultK, so all
+	// of them hold a copy after the store alone).
+	holders := 0
+	for _, nd := range nodes {
+		if nd.Has(key) {
+			holders++
+		}
+	}
+	if holders != 5 {
+		t.Fatalf("%d holders after store, want 5 (cluster smaller than K)", holders)
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	ctx := context.Background()
+	_, nodes := testCluster(t, 3)
+	if _, _, ok := nodes[0].Get(ctx, "sha256:bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"); ok {
+		t.Fatal("found a key never stored")
+	}
+}
+
+// TestOwnerAgreement: with converged tables every node names the same
+// owner for a key, and that owner is the globally XOR-closest node —
+// the invariant the cross-node singleflight leans on.
+func TestOwnerAgreement(t *testing.T) {
+	_, nodes := testCluster(t, 5)
+	for trial := 0; trial < 50; trial++ {
+		key := fmt.Sprintf("sha256:%064x", trial*7919)
+		target := KeyID(key)
+		want := nodes[0].Self()
+		for _, nd := range nodes[1:] {
+			if Closer(target, nd.Self().ID, want.ID) {
+				want = nd.Self()
+			}
+		}
+		for i, nd := range nodes {
+			if got := nd.Owner(key); got.ID != want.ID {
+				t.Fatalf("key %s: node %d names owner %s, global closest is %s", key, i, got.ID, want.ID)
+			}
+		}
+	}
+}
+
+func TestExecRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	_, nodes := testCluster(t, 3)
+	nodes[2].SetExecutor(func(_ context.Context, kind string, payload []byte) ([]byte, error) {
+		return []byte(kind + ":" + string(payload)), nil
+	})
+	out, err := nodes[0].Exec(ctx, nodes[2].Self(), "echo", []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "echo:hi" {
+		t.Fatalf("exec returned %q", out)
+	}
+	// A node with no executor answers with an application error.
+	if _, err := nodes[0].Exec(ctx, nodes[1].Self(), "echo", []byte("hi")); err == nil {
+		t.Fatal("exec on executor-less node succeeded")
+	}
+	// Executor errors travel back as errors.
+	nodes[2].SetExecutor(func(context.Context, string, []byte) ([]byte, error) {
+		return nil, fmt.Errorf("boom")
+	})
+	if _, err := nodes[0].Exec(ctx, nodes[2].Self(), "echo", nil); err == nil {
+		t.Fatal("executor error not propagated")
+	} else if err.Error() == "" {
+		t.Fatal("empty error")
+	}
+}
+
+// TestDrainLeavesPolitely is the drain satellite's unit half: a
+// draining node refuses fresh keys, keeps serving the ones it holds
+// (never strands results), and its Draining responses age it out of
+// peers' routing tables.
+func TestDrainLeavesPolitely(t *testing.T) {
+	ctx := context.Background()
+	_, nodes := testCluster(t, 4)
+	held := "sha256:cccccccccccccccccccccccccccccccccccccccccccccccccccccccccccccccc"
+	nodes[3].Store(ctx, held, "blob", []byte("kept"))
+	if !nodes[3].Has(held) {
+		t.Fatal("node 3 should hold the key (cluster smaller than K)")
+	}
+
+	nodes[3].Drain()
+
+	// Fresh stores are refused...
+	fresh := &Request{Op: OpStore, From: nodes[0].Self(), Key: "sha256:dddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddd", Kind: "blob", Value: []byte("new")}
+	if resp := nodes[3].HandleRPC(ctx, fresh); resp.Stored || resp.Err == "" || !resp.Draining {
+		t.Fatalf("draining node accepted a fresh key: %+v", resp)
+	}
+	// ...but held keys still serve, and re-replication of them is fine.
+	if resp := nodes[3].HandleRPC(ctx, &Request{Op: OpFindValue, From: nodes[0].Self(), Key: held}); !resp.Found {
+		t.Fatal("draining node stranded a held value")
+	}
+	if resp := nodes[3].HandleRPC(ctx, &Request{Op: OpStore, From: nodes[0].Self(), Key: held, Kind: "blob", Value: []byte("kept")}); !resp.Stored {
+		t.Fatal("draining node refused re-replication of a held key")
+	}
+
+	// Peers that talk to it see Draining and drop it from their tables.
+	if _, err := nodes[0].Ping(ctx, nodes[3].Self().Addr); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range nodes[0].Table().Contacts() {
+		if c.ID == nodes[3].Self().ID {
+			t.Fatal("draining node still in a peer's table after contact")
+		}
+	}
+	// And the draining node itself skips its local replica on stores.
+	k2 := "sha256:eeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeee"
+	nodes[3].Store(ctx, k2, "blob", []byte("flushed"))
+	if nodes[3].Has(k2) {
+		t.Fatal("draining node kept a local replica of flushed data")
+	}
+	found := false
+	for _, nd := range nodes[:3] {
+		if nd.Has(k2) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("flushed value reached no healthy peer")
+	}
+}
+
+// TestTransportFailureEvictsContact: a dead peer disappears from the
+// caller's table on the first failed RPC.
+func TestTransportFailureEvictsContact(t *testing.T) {
+	ctx := context.Background()
+	net, nodes := testCluster(t, 3)
+	net.SetDown(nodes[2].Self().Addr, true)
+	if _, err := nodes[0].Exec(ctx, nodes[2].Self(), "x", []byte("y")); err == nil {
+		t.Fatal("call to downed node succeeded")
+	}
+	for _, c := range nodes[0].Table().Contacts() {
+		if c.ID == nodes[2].Self().ID {
+			t.Fatal("downed node still in the table")
+		}
+	}
+}
+
+func TestStatus(t *testing.T) {
+	ctx := context.Background()
+	_, nodes := testCluster(t, 3)
+	key := "sha256:abababababababababababababababababababababababababababababababab"
+	nodes[0].Store(ctx, key, "point", []byte("v"))
+	st := nodes[0].Status()
+	if st.Name != "node-0" || st.Addr != "node-0" || st.Draining {
+		t.Fatalf("bad status identity: %+v", st)
+	}
+	if len(st.Peers) != 2 {
+		t.Fatalf("status lists %d peers, want 2", len(st.Peers))
+	}
+	if st.StoredKeys != 1 || st.KeysByKind["point"] != 1 {
+		t.Fatalf("bad key accounting: %+v", st)
+	}
+	if st.K != DefaultK {
+		t.Fatalf("K = %d", st.K)
+	}
+}
+
+func TestJoinNoBootstrapReachable(t *testing.T) {
+	net := NewMemNetwork()
+	node, err := NewNode(Config{Name: "loner", Addr: "loner", Transport: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Join(context.Background(), "ghost-1", "ghost-2"); err == nil {
+		t.Fatal("join with no reachable bootstrap succeeded")
+	}
+	// Joining with no addresses at all is fine: a single-node cluster.
+	if err := node.Join(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

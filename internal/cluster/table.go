@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+)
+
+// Contact is one known peer: its ID plus the transport address RPCs
+// reach it at.
+type Contact struct {
+	ID   ID     `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// RoutingTable is the Kademlia view of the cluster: IDBits k-buckets of
+// up to K contacts each, bucket i holding peers whose highest differing
+// bit from self is bit i. Within a bucket contacts are ordered least
+// recently seen first — the classic eviction discipline: a full
+// bucket pings its stalest member and only replaces it if the ping
+// fails, so long-lived peers (the ones most likely to stay up) are
+// never displaced by churn. Safe for concurrent use.
+type RoutingTable struct {
+	self ID
+	k    int
+	// ping probes a contact when a full bucket must choose between its
+	// least-recently-seen member and a newcomer; nil treats the old
+	// member as alive (newcomers are dropped — the conservative choice).
+	ping func(Contact) bool
+
+	mu      sync.Mutex
+	buckets [IDBits][]Contact // least recently seen first
+}
+
+// NewRoutingTable builds a table for the node self with bucket capacity
+// k. ping, when non-nil, is called outside the table lock to liveness-
+// probe the least-recently-seen member of a full bucket.
+func NewRoutingTable(self ID, k int, ping func(Contact) bool) *RoutingTable {
+	if k <= 0 {
+		k = DefaultK
+	}
+	return &RoutingTable{self: self, k: k, ping: ping}
+}
+
+// Update records that c was just seen. Known contacts move to the
+// most-recently-seen end (their address refreshed), fresh contacts fill
+// spare bucket room, and a full bucket probes its least-recently-seen
+// member: alive keeps its seat (the newcomer is dropped), dead is
+// evicted in the newcomer's favor.
+func (t *RoutingTable) Update(c Contact) {
+	if c.ID == t.self || c.ID.IsZero() || c.Addr == "" {
+		return
+	}
+	b := BucketIndex(t.self, c.ID)
+	t.mu.Lock()
+	bucket := t.buckets[b]
+	for i := range bucket {
+		if bucket[i].ID == c.ID {
+			// Seen again: slide to the tail, keeping the freshest address.
+			copy(bucket[i:], bucket[i+1:])
+			bucket[len(bucket)-1] = c
+			t.mu.Unlock()
+			return
+		}
+	}
+	if len(bucket) < t.k {
+		t.buckets[b] = append(bucket, c)
+		t.mu.Unlock()
+		return
+	}
+	oldest := bucket[0]
+	t.mu.Unlock()
+
+	alive := t.ping == nil || t.ping(oldest)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	bucket = t.buckets[b]
+	// The bucket may have changed while pinging; find the probed member
+	// again and act only if it is still present.
+	for i := range bucket {
+		if bucket[i].ID != oldest.ID {
+			continue
+		}
+		if alive {
+			// The old-timer answered: it moves to the tail and the
+			// newcomer is dropped — uptime is the best predictor of
+			// future uptime.
+			copy(bucket[i:], bucket[i+1:])
+			bucket[len(bucket)-1] = oldest
+			return
+		}
+		copy(bucket[i:], bucket[i+1:])
+		bucket[len(bucket)-1] = c
+		return
+	}
+	if len(bucket) < t.k {
+		t.buckets[b] = append(bucket, c)
+	}
+}
+
+// Remove drops a contact (a peer that announced it is draining, or
+// whose RPCs fail hard).
+func (t *RoutingTable) Remove(id ID) {
+	b := BucketIndex(t.self, id)
+	if b < 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	bucket := t.buckets[b]
+	for i := range bucket {
+		if bucket[i].ID == id {
+			t.buckets[b] = append(bucket[:i], bucket[i+1:]...)
+			return
+		}
+	}
+}
+
+// Contacts returns every known peer (no particular order).
+func (t *RoutingTable) Contacts() []Contact {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Contact
+	for _, b := range t.buckets {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// Len returns how many peers the table knows.
+func (t *RoutingTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, b := range t.buckets {
+		n += len(b)
+	}
+	return n
+}
+
+// KClosest returns up to n known contacts ordered by XOR distance to
+// target, nearest first. The scan is over the whole table — cluster
+// sizes here are tens, not millions, so the simple global sort is both
+// exact and cheap (and trivially property-testable against a brute
+// force, because it is one).
+func (t *RoutingTable) KClosest(target ID, n int) []Contact {
+	out := t.Contacts()
+	sortByDistance(target, out)
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// sortByDistance orders contacts by XOR distance to target, nearest
+// first; ID order (ascending) breaks exact ties, which cannot occur
+// between distinct IDs.
+func sortByDistance(target ID, cs []Contact) {
+	sort.Slice(cs, func(i, j int) bool {
+		return CompareDistance(target, cs[i].ID, cs[j].ID) < 0
+	})
+}

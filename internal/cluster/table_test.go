@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestKClosestMatchesBruteForce is the property test for lookup
+// ordering: against random tables and targets, KClosest must agree
+// with an independent brute-force sort by XOR distance.
+func TestKClosestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		self := randID(rng)
+		tbl := NewRoutingTable(self, DefaultK, nil)
+		n := 1 + rng.Intn(60)
+		var all []Contact
+		for i := 0; i < n; i++ {
+			c := Contact{ID: randID(rng), Addr: fmt.Sprintf("n%d", i)}
+			tbl.Update(c)
+			all = append(all, c)
+		}
+		// The table may hold fewer than n contacts (full buckets drop
+		// newcomers with a nil pinger); brute-force over what it kept.
+		kept := tbl.Contacts()
+		target := randID(rng)
+		want := append([]Contact(nil), kept...)
+		sort.Slice(want, func(i, j int) bool {
+			return CompareDistance(target, want[i].ID, want[j].ID) < 0
+		})
+		k := 1 + rng.Intn(DefaultK)
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := tbl.KClosest(target, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: KClosest returned %d contacts, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("trial %d: position %d: got %s want %s", trial, i, got[i].ID, want[i].ID)
+			}
+		}
+		// Ordering invariant: distances are non-decreasing.
+		for i := 1; i < len(got); i++ {
+			if Closer(target, got[i].ID, got[i-1].ID) {
+				t.Fatalf("trial %d: KClosest not sorted at %d", trial, i)
+			}
+		}
+	}
+}
+
+// sameBucketContacts builds contacts that all land in self's bucket 0
+// (highest bit differs), so bucket-capacity behavior is observable.
+func sameBucketContacts(n int) (ID, []Contact) {
+	var self ID // zero
+	out := make([]Contact, n)
+	for i := range out {
+		var id ID
+		id[0] = 0x80
+		id[IDBytes-1] = byte(i + 1)
+		id[IDBytes-2] = byte((i + 1) >> 8)
+		out[i] = Contact{ID: id, Addr: fmt.Sprintf("peer-%d", i)}
+	}
+	return self, out
+}
+
+// TestBucketEvictsDeadOldest: a full bucket whose least-recently-seen
+// member fails its liveness probe evicts it in the newcomer's favor.
+func TestBucketEvictsDeadOldest(t *testing.T) {
+	self, cs := sameBucketContacts(DefaultK + 1)
+	tbl := NewRoutingTable(self, DefaultK, func(Contact) bool { return false })
+	for _, c := range cs[:DefaultK] {
+		tbl.Update(c)
+	}
+	if tbl.Len() != DefaultK {
+		t.Fatalf("table has %d contacts, want %d", tbl.Len(), DefaultK)
+	}
+	tbl.Update(cs[DefaultK]) // bucket full; cs[0] is least recently seen and dead
+	got := tbl.Contacts()
+	if len(got) != DefaultK {
+		t.Fatalf("table has %d contacts after eviction, want %d", len(got), DefaultK)
+	}
+	has := func(id ID) bool {
+		for _, c := range got {
+			if c.ID == id {
+				return true
+			}
+		}
+		return false
+	}
+	if has(cs[0].ID) {
+		t.Fatal("dead least-recently-seen contact survived")
+	}
+	if !has(cs[DefaultK].ID) {
+		t.Fatal("newcomer not admitted after eviction")
+	}
+}
+
+// TestBucketKeepsAliveOldest: the classic Kademlia preference — a full
+// bucket whose oldest member still answers drops the newcomer, because
+// node uptime predicts future uptime.
+func TestBucketKeepsAliveOldest(t *testing.T) {
+	pinged := 0
+	self, cs := sameBucketContacts(DefaultK + 1)
+	tbl := NewRoutingTable(self, DefaultK, func(c Contact) bool {
+		pinged++
+		if c.ID != cs[0].ID {
+			t.Fatalf("probed %s, want least-recently-seen %s", c.ID, cs[0].ID)
+		}
+		return true
+	})
+	for _, c := range cs[:DefaultK] {
+		tbl.Update(c)
+	}
+	tbl.Update(cs[DefaultK])
+	if pinged != 1 {
+		t.Fatalf("pinged %d times, want 1", pinged)
+	}
+	got := tbl.Contacts()
+	for _, c := range got {
+		if c.ID == cs[DefaultK].ID {
+			t.Fatal("newcomer displaced a live contact")
+		}
+	}
+	// The survivor moved to the most-recently-seen end: the next
+	// overflow probes cs[1], not cs[0].
+	var probed Contact
+	tbl.ping = func(c Contact) bool { probed = c; return true }
+	tbl.Update(cs[DefaultK])
+	if probed.ID != cs[1].ID {
+		t.Fatalf("second overflow probed %s, want %s (LRS rotation)", probed.ID, cs[1].ID)
+	}
+}
+
+// TestUpdateRefreshesKnownContact: re-seeing a contact moves it to the
+// most-recently-seen end and refreshes its address without growing the
+// bucket.
+func TestUpdateRefreshesKnownContact(t *testing.T) {
+	self, cs := sameBucketContacts(DefaultK + 1)
+	tbl := NewRoutingTable(self, DefaultK, nil)
+	for _, c := range cs[:DefaultK] {
+		tbl.Update(c)
+	}
+	moved := cs[0]
+	moved.Addr = "peer-0-new-addr"
+	tbl.Update(moved)
+	if tbl.Len() != DefaultK {
+		t.Fatalf("table has %d contacts, want %d", tbl.Len(), DefaultK)
+	}
+	for _, c := range tbl.Contacts() {
+		if c.ID == moved.ID && c.Addr != "peer-0-new-addr" {
+			t.Fatalf("address not refreshed: %s", c.Addr)
+		}
+	}
+	// Overflow the bucket: the probe must now hit cs[1] (the refresh
+	// rotated cs[0] to the most-recently-seen end).
+	var probed Contact
+	tbl.ping = func(c Contact) bool { probed = c; return true }
+	tbl.Update(cs[DefaultK])
+	if probed.ID != cs[1].ID {
+		t.Fatalf("probe hit %s, want %s", probed.ID, cs[1].ID)
+	}
+}
+
+// TestTableIgnoresSelfAndZero: the table never stores its own node or
+// malformed contacts.
+func TestTableIgnoresSelfAndZero(t *testing.T) {
+	self := NodeID("self")
+	tbl := NewRoutingTable(self, DefaultK, nil)
+	tbl.Update(Contact{ID: self, Addr: "me"})
+	tbl.Update(Contact{Addr: "zero-id"})
+	tbl.Update(Contact{ID: NodeID("x")}) // empty addr
+	if tbl.Len() != 0 {
+		t.Fatalf("table stored %d invalid contacts", tbl.Len())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	self, cs := sameBucketContacts(3)
+	tbl := NewRoutingTable(self, DefaultK, nil)
+	for _, c := range cs {
+		tbl.Update(c)
+	}
+	tbl.Remove(cs[1].ID)
+	if tbl.Len() != 2 {
+		t.Fatalf("table has %d contacts after remove, want 2", tbl.Len())
+	}
+	for _, c := range tbl.Contacts() {
+		if c.ID == cs[1].ID {
+			t.Fatal("removed contact still present")
+		}
+	}
+	tbl.Remove(randID(rand.New(rand.NewSource(1)))) // unknown: no-op
+	if tbl.Len() != 2 {
+		t.Fatal("removing an unknown contact changed the table")
+	}
+}

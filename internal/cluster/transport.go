@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Transport delivers one RPC to the node at addr and returns its
+// response. Implementations: MemNetwork (in-process, for tests and CI)
+// and client.ClusterTransport (HTTP POST /v1/cluster/rpc with the
+// client package's retry policy).
+type Transport interface {
+	Call(ctx context.Context, addr string, req *Request) (*Response, error)
+}
+
+// Handler is the receiving half: a node's RPC entry point.
+type Handler func(ctx context.Context, req *Request) *Response
+
+// MemNetwork is the in-process transport: a registry of node handlers
+// keyed by address, with per-address fault injection for partition
+// tests. Calls are direct function invocations — no serialization — so
+// a 3-node cluster test runs at memory speed; the HTTP transport's
+// wire-codec fidelity is covered separately by the message codec tests
+// and the CI smoke against real daemons.
+type MemNetwork struct {
+	mu    sync.RWMutex
+	nodes map[string]Handler
+	down  map[string]bool
+}
+
+// NewMemNetwork builds an empty in-process network.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{nodes: map[string]Handler{}, down: map[string]bool{}}
+}
+
+// Attach registers a node's handler at addr (replacing any previous
+// one).
+func (n *MemNetwork) Attach(addr string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[addr] = h
+}
+
+// Detach removes the node at addr; subsequent calls to it fail like a
+// vanished host.
+func (n *MemNetwork) Detach(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodes, addr)
+}
+
+// SetDown marks addr unreachable (true) or reachable again (false)
+// without deregistering it — the partition/fault-injection knob.
+func (n *MemNetwork) SetDown(addr string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[addr] = down
+}
+
+// Call implements Transport.
+func (n *MemNetwork) Call(ctx context.Context, addr string, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n.mu.RLock()
+	h, ok := n.nodes[addr]
+	down := n.down[addr]
+	n.mu.RUnlock()
+	if !ok || down {
+		return nil, fmt.Errorf("cluster: node %s unreachable", addr)
+	}
+	return h(ctx, req), nil
+}

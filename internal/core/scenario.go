@@ -618,6 +618,43 @@ type Coord struct {
 	Value string   `json:"value"`
 }
 
+// PointKey names one grid point of a scenario without running it: its
+// coordinates (canonical axis spellings) and the point digest a cache
+// or cluster shards on.
+type PointKey struct {
+	Coords []Coord
+	Digest string
+}
+
+// PointKeys expands the grid and returns every point's key in run
+// order, without simulating anything. Distributed schedulers use this
+// to decide point ownership before execution: each key's Digest is the
+// spec digest of the pinned single-point scenario (see pointDigest), so
+// a single-point spec built from Coords digests back to the same key.
+func (s Scenario) PointKeys() ([]PointKey, error) {
+	norm, err := s.normalized()
+	if err != nil {
+		return nil, err
+	}
+	base, err := norm.canonicalBase()
+	if err != nil {
+		return nil, err
+	}
+	pts, err := norm.grid()
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]PointKey, len(pts))
+	for i, pt := range pts {
+		d, err := pointDigest(base, pt.coords)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = PointKey{Coords: pt.coords, Digest: d}
+	}
+	return keys, nil
+}
+
 // WireTraffic is the per-flavor traffic split of a traffic-output point.
 type WireTraffic struct {
 	IntraBytes int64 `json:"intra_bytes"`

@@ -1,0 +1,247 @@
+// Cluster acceptance tests: three managers joined through the
+// in-process transport must serve scenario results byte-identical to a
+// standalone manager, run a hot spec exactly once cluster-wide under
+// concurrent submission to different nodes (run with -race), serve
+// reruns against a different node from the cooperative cache with zero
+// new engine jobs, and stay available while a member drains.
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+// newTestCluster builds an n-node cluster: each member is a full stack
+// (engine, manager, handler, httptest server, client) whose cluster
+// node rides a shared MemNetwork. Tables are converged before return,
+// so every node names the same owner for every key.
+func newTestCluster(t *testing.T, n int) ([]*service.Manager, []*client.Client) {
+	t.Helper()
+	net := cluster.NewMemNetwork()
+	nodes := make([]*cluster.Node, n)
+	mgrs := make([]*service.Manager, n)
+	cls := make([]*client.Client, n)
+	for i := range nodes {
+		addr := fmt.Sprintf("mem://node-%d", i)
+		node, err := cluster.NewNode(cluster.Config{
+			Name:      fmt.Sprintf("node-%d", i),
+			Addr:      addr,
+			Transport: net,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Attach(addr, node.HandleRPC)
+		mgr, err := service.NewManager(service.Options{Engine: engine.New(2), Cluster: node})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(service.NewHandler(mgr))
+		t.Cleanup(srv.Close)
+		nodes[i], mgrs[i], cls[i] = node, mgr, client.New(srv.URL, srv.Client())
+	}
+	ctx := context.Background()
+	for i := 1; i < n; i++ {
+		if err := nodes[i].Join(ctx, nodes[0].Self().Addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One more self-lookup round so early joiners learn late ones.
+	for _, nd := range nodes {
+		if err := nd.Join(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, nd := range nodes {
+		if got := nd.Table().Len(); got != n-1 {
+			t.Fatalf("node %d knows %d peers, want %d", i, got, n-1)
+		}
+	}
+	return mgrs, cls
+}
+
+// totalStarted sums engine job starts across the cluster — the counter
+// the exactly-once and zero-recompute assertions diff.
+func totalStarted(mgrs []*service.Manager) uint64 {
+	var sum uint64
+	for _, m := range mgrs {
+		sum += m.Engine().Stats().Started
+	}
+	return sum
+}
+
+// gridSpec is the fan-out workload: a 2x2 grid whose points shard
+// across the cluster by point digest.
+func gridSpec() service.ScenarioRequest {
+	return service.ScenarioRequest{
+		App: "cg", Ranks: 8,
+		Platform: &service.PlatformSpec{Preset: "marenostrum-4x"},
+		Axes: []core.Axis{
+			core.BandwidthAxis(125, 500),
+			core.MappingAxis("block", "rr"),
+		},
+		Output: "traffic",
+	}
+}
+
+// TestClusterScenarioByteIdentical is the headline acceptance path: a
+// gridded scenario fanned across a 3-node cluster returns bytes
+// identical to a standalone manager's, a rerun against each other node
+// is served from the cooperative cache with zero new engine jobs
+// cluster-wide, and the computed points land in the DHT as replicated
+// blobs.
+func TestClusterScenarioByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	req := gridSpec()
+
+	_, standalone := newService(t, 2)
+	want, err := standalone.ScenarioRaw(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mgrs, cls := newTestCluster(t, 3)
+	first, err := cls[0].ScenarioRaw(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, first) {
+		t.Fatalf("clustered scenario differs from standalone:\n%s\n%s", want, first)
+	}
+	after := totalStarted(mgrs)
+	// The same spec against the two other nodes: the owner's result
+	// cache answers through the forward path, so no engine anywhere
+	// starts a job.
+	for i := 1; i < 3; i++ {
+		got, err := cls[i].ScenarioRaw(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("rerun via node %d not byte-identical", i)
+		}
+	}
+	if now := totalStarted(mgrs); now != after {
+		t.Fatalf("rerun against other nodes spawned engine jobs: %d -> %d", after, now)
+	}
+	// Every computed point replicates into the DHT (asynchronously):
+	// eventually each of the 4 points is held by all 3 nodes (3 < K).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		points := 0
+		for _, m := range mgrs {
+			points += m.Cluster().Status().KeysByKind[service.BlobPoint]
+		}
+		if points >= 12 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("point blobs not replicated: %d cluster-wide, want 12", points)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClusterExactlyOnceConcurrent fires N identical submissions
+// concurrently at different nodes and proves the computation ran once
+// cluster-wide: the summed engine job counters advance by exactly the
+// standalone cost of the spec, and all N responses are byte-identical.
+// -race covers the cross-node singleflight's locking.
+func TestClusterExactlyOnceConcurrent(t *testing.T) {
+	ctx := context.Background()
+	req := service.ScenarioRequest{App: "cg", Ranks: 4, Output: "report"}
+
+	// The spec's standalone cost in engine jobs — what exactly-once must
+	// hold the cluster to.
+	standaloneMgr, standalone := newService(t, 2)
+	want, err := standalone.ScenarioRaw(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := standaloneMgr.Engine().Stats().Started
+
+	mgrs, cls := newTestCluster(t, 3)
+	before := totalStarted(mgrs)
+	const n = 9
+	responses := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			responses[i], errs[i] = cls[i%3].ScenarioRaw(ctx, req)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("submission %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(want, responses[i]) {
+			t.Fatalf("submission %d not byte-identical to standalone", i)
+		}
+	}
+	if delta := totalStarted(mgrs) - before; delta != cost {
+		t.Fatalf("%d concurrent submissions cost %d engine jobs cluster-wide, want exactly %d", n, delta, cost)
+	}
+}
+
+// TestClusterDrainStaysAvailable: a draining member refuses new work
+// with 503 while the rest of the cluster keeps serving correct bytes —
+// forwards to the draining owner fall back to computing locally. The
+// enriched /healthz reports cluster identity and the drain state.
+func TestClusterDrainStaysAvailable(t *testing.T) {
+	ctx := context.Background()
+	req := service.ScenarioRequest{App: "bt", Ranks: 4, Output: "report"}
+
+	_, standalone := newService(t, 2)
+	want, err := standalone.ScenarioRaw(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mgrs, cls := newTestCluster(t, 3)
+	h, err := cls[0].Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Draining || h.Node != "node-0" || h.NodeID == "" || h.ClusterPeers != 2 {
+		t.Fatalf("healthz before drain: %+v", h)
+	}
+
+	drainCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if _, err := mgrs[0].Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+	if h, err = cls[0].Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" || !h.Draining {
+		t.Fatalf("healthz while draining: %+v", h)
+	}
+	if _, err := cls[0].Scenario(ctx, req); err == nil {
+		t.Fatal("draining node accepted a new scenario")
+	}
+	// The rest of the cluster still serves the spec — locally if its
+	// owner is the draining node.
+	got, err := cls[1].ScenarioRaw(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("scenario served during a peer's drain not byte-identical")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/apps"
+	"repro/internal/cluster"
 	"repro/internal/network"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -42,11 +43,19 @@ type TraceInfo struct {
 	Records int    `json:"records"`
 }
 
-// Health is the GET /healthz response.
+// Health is the GET /healthz response. Status is "ok" while serving
+// and "draining" once shutdown began; the cluster fields appear only
+// when the daemon is a cluster member.
 type Health struct {
 	Status    string  `json:"status"`
 	UptimeSec float64 `json:"uptime_sec"`
 	Workers   int     `json:"workers"`
+	Draining  bool    `json:"draining,omitempty"`
+	// Node is the operator-chosen node name (-node-id), NodeID its
+	// 160-bit DHT identity, ClusterPeers the routing-table size.
+	Node         string `json:"node,omitempty"`
+	NodeID       string `json:"node_id,omitempty"`
+	ClusterPeers int    `json:"cluster_peers,omitempty"`
 }
 
 // NewHandler builds the daemon's HTTP API around a manager. The routes:
@@ -90,11 +99,21 @@ func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, Health{
+		h := Health{
 			Status:    "ok",
 			UptimeSec: m.UptimeSec(),
 			Workers:   m.eng.Workers(),
-		})
+		}
+		if m.Draining() {
+			h.Status = "draining"
+			h.Draining = true
+		}
+		if n := m.Cluster(); n != nil {
+			h.Node = n.Name()
+			h.NodeID = n.Self().ID.String()
+			h.ClusterPeers = n.Table().Len()
+		}
+		writeJSON(w, http.StatusOK, h)
 	})
 	mux.Handle("GET /metrics", telemetry.Handler(telemetry.Default()))
 
@@ -141,6 +160,9 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, status, err)
 			return
 		}
+		// In a cluster the upload also replicates to the digest's replica
+		// set, so any member can serve specs referencing it.
+		m.ReplicateTrace(digest, tr)
 		writeJSON(w, http.StatusCreated, traceInfo(digest, tr))
 	})
 
@@ -292,6 +314,18 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, j.Status(false))
 	})
+
+	// Cluster members additionally serve the peer RPC endpoint and a
+	// status document:
+	//
+	//	POST /v1/cluster/rpc      the DHT RPC envelope (peers only)
+	//	GET  /v1/cluster/status   node identity, peers, stored keys
+	if n := m.Cluster(); n != nil {
+		mux.Handle("POST "+cluster.RPCPath, cluster.ServeRPC(n))
+		mux.HandleFunc("GET /v1/cluster/status", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, n.Status())
+		})
+	}
 
 	return instrument(mux, m.log)
 }

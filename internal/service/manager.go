@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/sim"
@@ -83,6 +84,12 @@ type Options struct {
 	// access lines). Nil discards them — the library default, so tests
 	// and embedders stay quiet unless they opt in.
 	Logger *slog.Logger
+	// Cluster, when set, makes the manager a member of a DHT-sharded
+	// simulation cluster: specs forward to their owner node, scenario
+	// grids fan points out by point digest, and computed results
+	// replicate as a cooperative cache (see cluster.go). The manager
+	// registers itself as the node's executor.
+	Cluster *cluster.Node
 }
 
 // Manager is the job manager: it owns the result cache, the singleflight
@@ -125,6 +132,12 @@ type Manager struct {
 	// spec the manager executes.
 	replayShards int
 
+	// node is the cluster membership (nil when standalone); replSem and
+	// replWG bound and track background DHT replication (cluster.go).
+	node    *cluster.Node
+	replSem chan struct{}
+	replWG  sync.WaitGroup
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string // job IDs in submission order, for listing/pruning
@@ -143,10 +156,14 @@ func (s scenarioPointStore) GetPoint(d string) (core.ScenarioPoint, bool) { retu
 func (s scenarioPointStore) PutPoint(d string, pt core.ScenarioPoint)     { s.c.Put(d, pt) }
 
 // scenarioPointCache returns the manager's point-level resume store in
-// the planner's shape, or nil when disabled.
+// the planner's shape, or nil when disabled. In a cluster the store
+// also replicates fresh points into the DHT (cluster.go).
 func (m *Manager) scenarioPointCache() core.PointCache {
 	if m.points == nil {
 		return nil
+	}
+	if m.node != nil {
+		return clusterPointStore{scenarioPointStore{m.points}, m}
 	}
 	return scenarioPointStore{m.points}
 }
@@ -269,6 +286,9 @@ func NewManager(opts Options) (*Manager, error) {
 	// evicted (or deleted) from the store drops its program instead of
 	// pinning it until the program LRU happens to cycle.
 	store.OnTraceEvict(func(digest string) { m.progs.Delete(digest) })
+	if opts.Cluster != nil {
+		m.attachCluster(opts.Cluster)
+	}
 	return m, nil
 }
 
@@ -289,7 +309,19 @@ func (m *Manager) Store() *Store { return m.store }
 //     and singleflight attaches are never rejected: they cost no slot).
 //
 // Validation and reference-resolution errors surface synchronously.
+//
+// In a cluster there is a fourth outcome: a scenario spec whose digest
+// another node owns is forwarded there (runForwarded, cluster.go) and
+// the returned bytes are served and cached verbatim — the cross-node
+// singleflight. The returned Job looks the same either way.
 func (m *Manager) Submit(req Request) (*Job, error) {
+	return m.submit(req, true)
+}
+
+// submit is Submit with the forwarding decision explicit: the cluster
+// executor resubmits received work with forward=false so ownership
+// routing never cycles — the owner always computes locally.
+func (m *Manager) submit(req Request, forward bool) (*Job, error) {
 	t, err := req.prepare(m)
 	if err != nil {
 		return nil, err
@@ -322,7 +354,11 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	j := m.newJobLocked(t, false)
 	m.inflight[t.key] = j
 	m.mu.Unlock()
-	go m.run(j, t)
+	if plan, ok := m.forwardTarget(req, t, forward); ok {
+		go m.runForwarded(j, t, plan)
+	} else {
+		go m.run(j, t)
+	}
 	return j, nil
 }
 
@@ -426,7 +462,14 @@ func (m *Manager) run(j *Job, t *task) {
 // waiters. If ctx expires first Drain returns its cause; the manager
 // stays draining either way, so a retried Drain only waits, never
 // re-admits.
+// In a cluster the node drains first — it stops accepting fresh keys
+// and marks every response Draining so peers age it out of their
+// routing tables — and outstanding DHT replications are flushed after
+// the jobs, so a departing node strands no point results.
 func (m *Manager) Drain(ctx context.Context) (int, error) {
+	if m.node != nil {
+		m.node.Drain()
+	}
 	m.mu.Lock()
 	m.draining = true
 	flushing := len(m.inflight)
@@ -438,7 +481,7 @@ func (m *Manager) Drain(ctx context.Context) (int, error) {
 		n := len(m.inflight)
 		m.mu.Unlock()
 		if n == 0 {
-			return flushing, nil
+			return flushing, m.flushReplications(ctx)
 		}
 		select {
 		case <-ctx.Done():

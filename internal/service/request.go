@@ -166,6 +166,9 @@ func (m *Manager) resolvePlatform(spec *PlatformSpec, app string, ranks int) (ne
 	if err != nil {
 		return network.Platform{}, "", err
 	}
+	// Cluster members replicate resolved platforms so peers can serve
+	// specs referencing the digest (no-op standalone; see cluster.go).
+	m.replicatePlatform(digest, plat)
 	return plat, digest, nil
 }
 

@@ -56,6 +56,10 @@ func (r ScenarioRequest) prepare(m *Manager) (*task, error) {
 		kind: KindScenario,
 		key:  key,
 		run: func(ctx context.Context, m *Manager) (any, error) {
+			// In a cluster, resolve remote-owned grid points first: the
+			// planner then schedules engine work only for the points this
+			// node owns (cluster.go; no-op standalone).
+			m.clusterPrefetchPoints(ctx, r, sc)
 			return core.RunScenario(ctx, m.eng, *sc)
 		},
 	}, nil

@@ -206,6 +206,27 @@ func streamScenario(m *Manager, w http.ResponseWriter, r *http.Request, req Scen
 	// watches.
 	stop := context.AfterFunc(r.Context(), j.cancel)
 	defer stop()
+
+	// In a cluster, a spec whose digest another node owns streams from
+	// the owner's bytes: execute it there (no local slot held), cache the
+	// payload, and replay it as frames — byte-identical to streaming it
+	// here. Forward failures fall through to the local run.
+	if plan, ok := m.forwardTarget(req, &task{kind: KindScenario, key: key}, true); ok {
+		j.markRunning()
+		if out, err := m.node.Exec(j.ctx, plan.owner, ExecKindScenario, plan.payload); err == nil {
+			mClusterForwards.With("ok").Inc()
+			m.unqueue()
+			m.cache.Put(key, out)
+			m.mu.Lock()
+			delete(m.inflight, key)
+			m.mu.Unlock()
+			j.complete(out, nil)
+			streamPayload(w, j, out)
+			return
+		}
+		mClusterForwards.With("fallback").Inc()
+	}
+
 	admitted := time.Now()
 	select {
 	case m.slots <- struct{}{}:
@@ -237,6 +258,9 @@ func streamScenario(m *Manager, w http.ResponseWriter, r *http.Request, req Scen
 		j.cancel()
 	}
 	asm := newPayloadAssembler(hdrJSON)
+	// Resolve remote-owned grid points through the cluster before the
+	// planner schedules anything (no-op standalone; see cluster.go).
+	m.clusterPrefetchPoints(j.ctx, req, sc)
 	_, err = core.RunScenarioStream(j.ctx, m.eng, *sc, func(pt core.ScenarioPoint) error {
 		ptJSON, err := json.Marshal(pt)
 		if err != nil {
